@@ -1,0 +1,63 @@
+// Command jengabench runs the paper's experiments by ID and prints the
+// corresponding tables and series.
+//
+// Usage:
+//
+//	jengabench -list
+//	jengabench -exp fig13 -scale 0.5
+//	jengabench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jenga/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (or 'all')")
+		list  = flag.Bool("list", false, "list experiment IDs")
+		scale = flag.Float64("scale", 1.0, "request-count scale factor")
+		seed  = flag.Int64("seed", 42, "workload seed")
+		csv   = flag.String("csv", "", "directory to also write tables as CSV")
+	)
+	flag.Parse()
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		if *exp == "" {
+			os.Exit(0)
+		}
+	}
+	opt := experiments.Options{Scale: *scale, Seed: *seed, CSVDir: *csv}
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		r, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", id, strings.Join(experiments.IDs(), ", "))
+			os.Exit(1)
+		}
+		start := time.Now()
+		if err := r(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: allocate, commit, hit the prefix cache and inspect memory
+// accounting on a heterogeneous model — the smallest end-to-end tour of
+// the Jenga manager API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jenga"
+)
+
+func main() {
+	// Gemma-2 27B interleaves full attention with sliding-window
+	// attention — two KV groups with different dependency patterns.
+	spec := jenga.Models.Gemma2_27B()
+	fmt.Printf("model: %s\n", spec)
+
+	// Size the KV cache for an H100 and build the two-level manager.
+	budget, err := jenga.KVBudget(spec, jenga.H100(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := jenga.NewManager(jenga.ManagerConfig{
+		Spec:              spec,
+		CapacityBytes:     budget,
+		EnablePrefixCache: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	geo := mgr.Geometry()
+	fmt.Printf("LCM page: %d bytes; per-type pages: %v\n",
+		geo.LargePageBytes, geo.SmallPageBytes)
+
+	// A 10 000-token request: reserve, commit, inspect.
+	seq := &jenga.Sequence{ID: 1, PromptLen: 10_000}
+	for i := 0; i < 10_000; i++ {
+		seq.Tokens = append(seq.Tokens, jenga.Token{ID: int32(i%50_000 + 1)})
+	}
+	if err := mgr.Reserve(seq, len(seq.Tokens), 1); err != nil {
+		log.Fatal(err)
+	}
+	mgr.Commit(seq, len(seq.Tokens), 1)
+
+	u := mgr.Usage()
+	fmt.Printf("after prefill: used %.2f GiB (full %.2f GiB, window %.2f GiB — the window keeps only %d tokens)\n",
+		gib(u.Used), gib(u.PerGroup["full"].Used), gib(u.PerGroup["window"].Used),
+		spec.Group("window").Window)
+
+	// Release with caching: pages stay evictable; an identical request
+	// hits the prefix cache and skips nearly all prefill compute.
+	mgr.Release(seq, true)
+	repeat := &jenga.Sequence{ID: 2, PromptLen: 10_000, Tokens: seq.Tokens}
+	hit := mgr.Lookup(repeat)
+	fmt.Printf("prefix cache hit for identical request: %d of %d tokens\n", hit, len(seq.Tokens))
+
+	if err := mgr.Reserve(repeat, len(repeat.Tokens), 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("claimed from cache: %d tokens (compute only %d)\n",
+		mgr.CachedPrefix(repeat), len(repeat.Tokens)-mgr.CachedPrefix(repeat))
+	mgr.Release(repeat, true)
+}
+
+func gib(b int64) float64 { return float64(b) / (1 << 30) }

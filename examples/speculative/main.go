@@ -1,0 +1,66 @@
+// Speculative decoding with a shared Jenga heap: the character.ai-style
+// target and a 1B draft serve from one memory pool, exchanging large
+// pages as the mix of draft and target KV shifts (§6.1). The same
+// workload runs under the two §7.4 baselines — vLLM-max (uniform pages
+// sized for the target) and the SmartSpec-style manual split — the
+// Fig. 19 experiment as a runnable program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jenga"
+)
+
+func main() {
+	target := jenga.Models.CharacterAI70B()
+	draft := jenga.Models.Llama32_1B()
+	dev := jenga.H100()
+	budget, err := jenga.KVBudget(target, dev, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget -= draft.WeightFootprint() // the draft's weights live on-device too
+
+	load := func() []jenga.Request {
+		g := jenga.NewWorkloadGen(11)
+		reqs := g.MMLUPro(48, 1024)
+		jenga.AllAtOnce(reqs)
+		return reqs
+	}
+
+	run := func(name string, ms jenga.SpecManagers) {
+		d, err := jenga.NewSpeculative(jenga.SpecConfig{
+			Target: target, Draft: draft, Device: dev,
+			Managers: ms, K: 4, AcceptRate: 0.7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := d.Run(load())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %.3f req/s  batch %.1f  accepted %.2f/4 draft tokens per verify\n",
+			name, res.ReqPerSec, res.MeanBatch, res.MeanAccepted)
+	}
+
+	vmax, err := jenga.NewVLLMMax(target, draft, budget, 16, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("vLLM-max", vmax)
+
+	manual, err := jenga.NewVLLMManual(target, draft, budget, 16, false, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("vLLM-manual", manual)
+
+	shared, err := jenga.NewJengaShared(target, draft, budget, 16, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("Jenga shared", shared)
+}

@@ -1,0 +1,65 @@
+// Vision-language serving: LLaVA-OneVision on MMMU-pro-like traffic
+// with chunked prefill. Without an embedding cache the vision encoder
+// re-runs for every prefill chunk (the vLLM baseline); Jenga's
+// free-on-demand embedding cache (§6.2a) runs it once per request and
+// releases embeddings as chunks consume them — the Fig. 18 experiment
+// as a runnable program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jenga"
+)
+
+func main() {
+	spec := jenga.Models.LLaVAOneVision7B()
+	dev := jenga.H100()
+	budget, err := jenga.KVBudget(spec, dev, 0.35)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	load := func() []jenga.Request {
+		g := jenga.NewWorkloadGen(3)
+		reqs := g.MMMUPro(16, spec.Vision.TokensPerImage)
+		jenga.AllAtOnce(reqs)
+		return reqs
+	}
+
+	run := func(name string, mgr jenga.Manager, strategy jenga.VisionStrategy) {
+		eng, err := jenga.NewEngine(jenga.EngineConfig{
+			Spec: spec, Device: dev, Manager: mgr,
+			MaxBatchTokens: 1024, // the paper's chunked-prefill size
+			Vision:         strategy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(load())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %.3f req/s  E2E %.2fs  encoder runs %d (for %d requests)\n",
+			name, res.ReqPerSec, res.MeanE2E.Seconds(), res.EncoderRuns, res.Finished)
+	}
+
+	paged, err := jenga.NewPagedBaseline(jenga.BaselineConfig{Spec: spec, CapacityBytes: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("no embedding cache", paged, jenga.VisionNone)
+
+	jm, err := jenga.NewManager(jenga.ManagerConfig{Spec: spec, CapacityBytes: budget, RequestAware: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("Jenga free-on-demand", jm, jenga.VisionFreeOnDemand)
+
+	jm2, err := jenga.NewManager(jenga.ManagerConfig{Spec: spec, CapacityBytes: budget, RequestAware: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("Jenga reuse-KV (§6.2b)", jm2, jenga.VisionReuseKV)
+}

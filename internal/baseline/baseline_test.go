@@ -1,0 +1,316 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"jenga/internal/core"
+	"jenga/internal/model"
+)
+
+// mllamaMini scales the Llama 3.2 Vision shape down: 4 self layers over
+// text, 1 cross layer over images, 128 B per layer per token.
+func mllamaMini() *model.Spec {
+	return &model.Spec{
+		Name: "mllama-mini", Params: 1000, WeightBytes: 2, HiddenSize: 8,
+		Groups: []model.KVGroup{
+			{Name: "self", Kind: model.FullAttention, Layers: 4, BytesPerToken: 128, Scope: model.ScopeText},
+			{Name: "cross", Kind: model.CrossAttention, Layers: 1, BytesPerToken: 128, Scope: model.ScopeImage},
+		},
+	}
+}
+
+func windowMini() *model.Spec {
+	return &model.Spec{
+		Name: "win-mini", Params: 1000, WeightBytes: 2, HiddenSize: 8,
+		Groups: []model.KVGroup{
+			{Name: "full", Kind: model.FullAttention, Layers: 1, BytesPerToken: 128},
+			{Name: "window", Kind: model.SlidingWindow, Layers: 3, BytesPerToken: 128, Window: 4},
+		},
+	}
+}
+
+func jambaMini() *model.Spec {
+	return &model.Spec{
+		Name: "jamba-mini", Params: 1000, WeightBytes: 2, HiddenSize: 8,
+		Groups: []model.KVGroup{
+			{Name: "attn", Kind: model.FullAttention, Layers: 1, BytesPerToken: 128},
+			{Name: "mamba", Kind: model.Mamba, Layers: 2, StateBytes: 1024, CheckpointEvery: 8},
+		},
+	}
+}
+
+func seqText(id core.RequestID, n int) *core.Sequence {
+	s := &core.Sequence{ID: id}
+	for i := 0; i < n; i++ {
+		s.Tokens = append(s.Tokens, core.Token{ID: int32(i + 1)})
+	}
+	return s
+}
+
+func seqMixed(id core.RequestID, img, txt int) *core.Sequence {
+	s := &core.Sequence{ID: id}
+	for i := 0; i < img; i++ {
+		s.Tokens = append(s.Tokens, core.Token{ID: int32(i + 1), Image: true})
+	}
+	for i := 0; i < txt; i++ {
+		s.Tokens = append(s.Tokens, core.Token{ID: int32(i + 1)})
+	}
+	return s
+}
+
+func TestFlattenSumsAllLayers(t *testing.T) {
+	flat := Flatten(mllamaMini())
+	if got := flat.Groups[0].BytesPerToken; got != 5*128 {
+		t.Errorf("flattened bytes/token = %d, want %d", got, 5*128)
+	}
+	// Mamba and vision groups are excluded.
+	flat = Flatten(jambaMini())
+	if got := flat.Groups[0].BytesPerToken; got != 128 {
+		t.Errorf("flattened jamba bytes/token = %d, want 128", got)
+	}
+}
+
+// TestPagedWasteMatchesSection32: with T text and I image tokens the
+// baseline stores (T+I)×(allLayers)×E while only T×self + I×cross is
+// needed; the waste fraction must match the §3.2 formula.
+func TestPagedWasteMatchesSection32(t *testing.T) {
+	spec := mllamaMini()
+	p, err := NewPaged(Config{Spec: spec, CapacityBytes: 1 << 20, TokensPerPage: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	T, I := 8, 16
+	s := seqMixed(1, I, T)
+	if err := p.Reserve(s, T+I, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Commit(s, T+I, 1)
+	u := p.Usage()
+	wantUsed := int64(T*4*128 + I*1*128)
+	if u.Used != wantUsed {
+		t.Errorf("used = %d, want %d", u.Used, wantUsed)
+	}
+	allocated := int64((T + I) * 5 * 128)
+	if got := u.Used + u.Wasted; got != allocated {
+		t.Errorf("used+wasted = %d, want allocated %d", got, allocated)
+	}
+	wantFrac := 1 - float64(wantUsed)/float64(allocated)
+	gotFrac := float64(u.Wasted) / float64(allocated)
+	if diff := gotFrac - wantFrac; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("waste fraction = %f, want %f", gotFrac, wantFrac)
+	}
+	p.Release(s, false)
+	u = p.Usage()
+	if u.Used != 0 || u.Wasted != 0 {
+		t.Errorf("after release: %+v", u)
+	}
+}
+
+// TestPagedWindowNeverFrees: the baseline keeps out-of-window KV,
+// reporting it as waste, while conservation still holds.
+func TestPagedWindowNeverFrees(t *testing.T) {
+	p, err := NewPaged(Config{Spec: windowMini(), CapacityBytes: 1 << 20, TokensPerPage: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seqText(1, 40)
+	if err := p.Reserve(s, 40, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Commit(s, 40, 1)
+	u := p.Usage()
+	// Needed: full layer 40×128 + window layers min(40,4)×3×128.
+	wantUsed := int64(40*128 + 4*3*128)
+	if u.Used != wantUsed {
+		t.Errorf("used = %d, want %d", u.Used, wantUsed)
+	}
+	// Dead window KV: (40-4)×3×128.
+	wantDead := int64(36 * 3 * 128)
+	if u.Wasted != wantDead {
+		t.Errorf("wasted = %d, want %d", u.Wasted, wantDead)
+	}
+	if u.Used+u.Cached+u.Wasted+u.Free != p.Capacity() {
+		t.Error("conservation violated")
+	}
+}
+
+// TestPagedMambaStaticPartition: slots are reserved up front; idle
+// slots count as waste; exceeding MaxSeqs returns ErrNoSpace.
+func TestPagedMambaStaticPartition(t *testing.T) {
+	p, err := NewPaged(Config{Spec: jambaMini(), CapacityBytes: 1 << 20, TokensPerPage: 2, MaxSeqs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := p.Usage()
+	// Pool of 2 slots × 2048 bytes reserved and idle.
+	if u.Wasted != 2*2048 {
+		t.Errorf("idle mamba pool wasted = %d, want %d", u.Wasted, 2*2048)
+	}
+	a, b, c := seqText(1, 4), seqText(2, 4), seqText(3, 4)
+	if err := p.Reserve(a, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Commit(a, 4, 1)
+	if err := p.Reserve(b, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reserve(c, 4, 1); !errors.Is(err, core.ErrNoSpace) {
+		t.Errorf("third sequence should exhaust mamba slots, got %v", err)
+	}
+	u = p.Usage()
+	if got := u.PerGroup["mamba-pool"].Used; got != 2048 {
+		t.Errorf("active mamba = %d, want 2048 (only committed seq a)", got)
+	}
+	p.Release(a, false)
+	if err := p.Reserve(c, 4, 2); err != nil {
+		t.Errorf("slot should free on release: %v", err)
+	}
+	if u := p.Usage(); u.Used+u.Cached+u.Wasted+u.Free != p.Capacity() {
+		t.Error("conservation violated")
+	}
+}
+
+func TestPagedMambaPoolTooLarge(t *testing.T) {
+	_, err := NewPaged(Config{Spec: jambaMini(), CapacityBytes: 4096, TokensPerPage: 2, MaxSeqs: 64})
+	if err == nil {
+		t.Error("oversized static pool should fail construction")
+	}
+	if _, err := NewPaged(Config{}); err == nil {
+		t.Error("nil spec should error")
+	}
+}
+
+// TestPagedPrefixCachingWorks: the baseline still does vLLM-style
+// full-prefix caching over flattened pages.
+func TestPagedPrefixCaching(t *testing.T) {
+	p, err := NewPaged(Config{Spec: windowMini(), CapacityBytes: 1 << 20, TokensPerPage: 2, EnablePrefixCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := seqText(1, 17)
+	if err := p.Reserve(a, 17, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Commit(a, 17, 1)
+	p.Release(a, true)
+	b := seqText(2, 17)
+	if got := p.Lookup(b); got != 16 {
+		t.Errorf("baseline lookup = %d, want 16", got)
+	}
+	if err := p.Reserve(b, 17, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CachedPrefix(b); got != 16 {
+		t.Errorf("cached prefix = %d, want 16", got)
+	}
+	p.Commit(b, 17, 2)
+	u := p.Usage()
+	if u.Used+u.Cached+u.Wasted+u.Free != p.Capacity() {
+		t.Error("conservation violated after prefix hit")
+	}
+	if p.SupportsVisionCache() {
+		t.Error("baseline must not claim a vision cache")
+	}
+	if err := p.EncodeImages(b, 17, 2); err != nil {
+		t.Errorf("EncodeImages no-op should not fail: %v", err)
+	}
+	p.DropImages(b, 17)
+}
+
+// TestVLLMMaxPadding: draft tokens in target-sized pages waste the
+// difference.
+func TestVLLMMaxPadding(t *testing.T) {
+	target := &model.Spec{Name: "t", Params: 1000, WeightBytes: 2, HiddenSize: 8,
+		Groups: []model.KVGroup{{Name: "self", Kind: model.FullAttention, Layers: 4, BytesPerToken: 128}}}
+	draft := &model.Spec{Name: "d", Params: 100, WeightBytes: 2, HiddenSize: 8,
+		Groups: []model.KVGroup{{Name: "self", Kind: model.FullAttention, Layers: 1, BytesPerToken: 128}}}
+	ms, err := NewVLLMMax(target, draft, 1<<20, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Target != ms.Draft {
+		t.Error("vLLM-max shares one pool")
+	}
+	ds := seqText(1, 8)
+	ds.Tag = TagDraft
+	if err := ms.Draft.Reserve(ds, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	ms.Draft.Commit(ds, 8, 1)
+	u := ms.Draft.Usage()
+	// Draft needs 8×128 but occupies 8×512: padding 8×384 is waste.
+	if want := int64(8 * 128); u.Used != want {
+		t.Errorf("used = %d, want %d", u.Used, want)
+	}
+	if want := int64(8 * 384); u.Wasted != want {
+		t.Errorf("wasted = %d, want %d", u.Wasted, want)
+	}
+	ms.Draft.Release(ds, false)
+	u = ms.Draft.Usage()
+	if u.Used != 0 || u.Wasted != 0 {
+		t.Errorf("after release: %+v", u)
+	}
+	// Draft larger than target is rejected.
+	if _, err := NewVLLMMax(draft, target, 1<<20, 1, false); err == nil {
+		t.Error("draft bigger than target should error")
+	}
+}
+
+// TestVLLMManualSplit: capacities divide by the SmartSpec heuristic and
+// the two pools are independent.
+func TestVLLMManualSplit(t *testing.T) {
+	target := windowMini()
+	draft := &model.Spec{Name: "d", Params: 100, WeightBytes: 2, HiddenSize: 8,
+		Groups: []model.KVGroup{{Name: "self", Kind: model.FullAttention, Layers: 1, BytesPerToken: 128}}}
+	ms, err := NewVLLMManual(target, draft, 1<<20, 2, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Target == ms.Draft {
+		t.Error("manual split must use two managers")
+	}
+	// target flat = 512, draft = 128 → draft gets 1/5 of capacity.
+	if got := ms.Draft.Capacity(); got > (1<<20)/4 {
+		t.Errorf("draft capacity = %d, too large", got)
+	}
+	total := ms.Draft.Capacity() + ms.Target.Capacity()
+	if total > 1<<20 || total < (1<<20)-1024 {
+		t.Errorf("split total = %d, want ≈ %d", total, 1<<20)
+	}
+}
+
+// TestJengaSharedSpecDecode: merged tagged spec serves both models with
+// natural page sizes.
+func TestJengaSharedSpecDecode(t *testing.T) {
+	target := windowMini()
+	draft := &model.Spec{Name: "d", Params: 100, WeightBytes: 2, HiddenSize: 8,
+		Groups: []model.KVGroup{{Name: "self", Kind: model.FullAttention, Layers: 1, BytesPerToken: 128}}}
+	ms, err := NewJengaShared(target, draft, 1<<20, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Target != ms.Draft {
+		t.Error("shared heap expected")
+	}
+	ts := seqText(1, 8)
+	ts.Tag = TagTarget
+	ds := seqText(2, 8)
+	ds.Tag = TagDraft
+	for _, s := range []*core.Sequence{ts, ds} {
+		if err := ms.Target.Reserve(s, 8, 1); err != nil {
+			t.Fatal(err)
+		}
+		ms.Target.Commit(s, 8, 1)
+	}
+	u := ms.Target.Usage()
+	// Target: full 8×128 + window min(8,4)... window group under Jenga
+	// frees beyond window: used = 8×128 + 4×3×128; draft: 8×128.
+	wantUsed := int64(8*128 + 4*3*128 + 8*128)
+	if u.Used != wantUsed {
+		t.Errorf("used = %d, want %d", u.Used, wantUsed)
+	}
+	if u.Used+u.Cached+u.Wasted+u.Free != ms.Target.Capacity() {
+		t.Error("conservation violated")
+	}
+}

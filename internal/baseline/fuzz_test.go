@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"jenga/internal/core"
+)
+
+// TestPagedRandomOpsConservation drives the baseline with random
+// traffic and checks conservation and sane accounting after every
+// operation (the baseline's Usage() re-labels inner accounting, so the
+// identity is worth fuzzing separately from the core fuzzer).
+func TestPagedRandomOpsConservation(t *testing.T) {
+	for _, seed := range []int64{1, 9, 77} {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := NewPaged(Config{
+			Spec: jambaMini(), CapacityBytes: 1 << 18, TokensPerPage: 2,
+			EnablePrefixCache: seed%2 == 0, MaxSeqs: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seqs []*fuzzLive
+		var nextID core.RequestID = 1
+		for op := 0; op < 400; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5 || len(seqs) == 0:
+				var s *fuzzLive
+				if len(seqs) == 0 || rng.Intn(3) == 0 {
+					sq := &core.Sequence{ID: nextID}
+					nextID++
+					n := 4 + rng.Intn(30)
+					base := int32(rng.Intn(2) * 100)
+					for i := 0; i < n; i++ {
+						sq.Tokens = append(sq.Tokens, core.Token{ID: base + int32(i)})
+					}
+					sq.PromptLen = n
+					s = &fuzzLive{seq: sq}
+					seqs = append(seqs, s)
+				} else {
+					s = seqs[rng.Intn(len(seqs))]
+				}
+				target := s.reserved + 1 + rng.Intn(6)
+				if target > len(s.seq.Tokens) {
+					target = len(s.seq.Tokens)
+				}
+				if err := p.Reserve(s.seq, target, core.Tick(op)); err != nil {
+					if !errors.Is(err, core.ErrNoSpace) {
+						t.Fatalf("reserve: %v", err)
+					}
+					p.Release(s.seq, rng.Intn(2) == 0)
+					seqs = remove(seqs, s)
+				} else if target > s.reserved {
+					s.reserved = target
+				}
+			case r < 8:
+				s := seqs[rng.Intn(len(seqs))]
+				if s.commit < s.reserved {
+					s.commit += 1 + rng.Intn(s.reserved-s.commit)
+					p.Commit(s.seq, s.commit, core.Tick(op))
+				}
+			default:
+				s := seqs[rng.Intn(len(seqs))]
+				p.Release(s.seq, rng.Intn(2) == 0)
+				seqs = remove(seqs, s)
+			}
+			u := p.Usage()
+			if u.Used+u.Cached+u.Wasted+u.Free != p.Capacity() {
+				t.Fatalf("seed %d op %d: conservation violated: %+v vs %d",
+					seed, op, u, p.Capacity())
+			}
+			if u.Used < 0 || u.Wasted < 0 || u.Cached < 0 || u.Free < 0 {
+				t.Fatalf("seed %d op %d: negative component %+v", seed, op, u)
+			}
+		}
+		for _, s := range seqs {
+			p.Release(s.seq, false)
+		}
+		u := p.Usage()
+		if u.Used != 0 {
+			t.Fatalf("seed %d: leaked used memory: %+v", seed, u)
+		}
+	}
+}
+
+// fuzzLive tracks one in-flight sequence in the fuzzer.
+type fuzzLive struct {
+	seq      *core.Sequence
+	reserved int
+	commit   int
+}
+
+func remove(seqs []*fuzzLive, s *fuzzLive) []*fuzzLive {
+	for i, c := range seqs {
+		if c == s {
+			return append(seqs[:i], seqs[i+1:]...)
+		}
+	}
+	return seqs
+}

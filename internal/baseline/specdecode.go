@@ -1,0 +1,170 @@
+package baseline
+
+import (
+	"fmt"
+
+	"jenga/internal/core"
+	"jenga/internal/model"
+)
+
+// Speculative-decoding memory strategies (§6.1, §7.4). The driver in
+// internal/spec routes the target and draft sequences to the managers
+// returned here; TagTarget/TagDraft select each model's KV groups.
+
+// Sequence tags used by all multi-model managers.
+const (
+	TagTarget = "target"
+	TagDraft  = "draft"
+)
+
+// Managers bundles the per-model manager handles. Target and Draft may
+// be the same object (shared heap).
+type Managers struct {
+	Target core.Manager
+	Draft  core.Manager
+}
+
+// MergeSpecs combines two models into one tagged spec so a single
+// manager can serve both (§6.1's custom_kv_cache registration).
+func MergeSpecs(target, draft *model.Spec) *model.Spec {
+	out := &model.Spec{
+		Name:        target.Name + "+" + draft.Name,
+		Params:      target.Params,
+		WeightBytes: target.WeightBytes,
+		HiddenSize:  target.HiddenSize,
+	}
+	for _, g := range target.Groups {
+		g.Name = "t:" + g.Name
+		g.Tag = TagTarget
+		out.Groups = append(out.Groups, g)
+	}
+	for _, g := range draft.Groups {
+		g.Name = "d:" + g.Name
+		g.Tag = TagDraft
+		out.Groups = append(out.Groups, g)
+	}
+	return out
+}
+
+// NewJengaShared serves both models from one Jenga heap: each model's
+// groups get their natural page sizes, and the LCM compatibility layer
+// exchanges large pages between them with negligible fragmentation.
+func NewJengaShared(target, draft *model.Spec, capacity int64, tokensPerPage int, cache bool) (Managers, error) {
+	merged := MergeSpecs(target, draft)
+	m, err := core.New(core.Config{
+		Spec: merged, CapacityBytes: capacity, TokensPerPage: tokensPerPage,
+		EnablePrefixCache: cache, RequestAware: true,
+	})
+	if err != nil {
+		return Managers{}, err
+	}
+	return Managers{Target: m, Draft: m}, nil
+}
+
+// maxPaged is the vLLM-max strategy: one uniform page size, set by the
+// large model (§7.4). Draft tokens occupy target-sized pages; the
+// unused tail of every draft page is waste.
+type maxPaged struct {
+	*core.Jenga
+	padWaste   int64 // per draft token
+	draftSeen  map[core.RequestID]int
+	draftTotal int64
+}
+
+var _ core.Manager = (*maxPaged)(nil)
+
+// NewVLLMMax builds the vLLM-max manager pair (both roles share it).
+func NewVLLMMax(target, draft *model.Spec, capacity int64, tokensPerPage int, cache bool) (Managers, error) {
+	tFlat := Flatten(target).Groups[0].BytesPerToken
+	dFlat := Flatten(draft).Groups[0].BytesPerToken
+	if dFlat > tFlat {
+		return Managers{}, fmt.Errorf("baseline: draft KV (%d) exceeds target KV (%d) per token", dFlat, tFlat)
+	}
+	spec := &model.Spec{
+		Name:        target.Name + "+max",
+		Params:      target.Params,
+		WeightBytes: target.WeightBytes,
+		HiddenSize:  target.HiddenSize,
+		Groups: []model.KVGroup{
+			{Name: "t:all", Kind: model.FullAttention, Layers: 1, BytesPerToken: tFlat, Tag: TagTarget},
+			// Draft pages padded to the target page size: the defining
+			// fragmentation of vLLM-max.
+			{Name: "d:all", Kind: model.FullAttention, Layers: 1, BytesPerToken: tFlat, Tag: TagDraft},
+		},
+	}
+	m, err := core.New(core.Config{
+		Spec: spec, CapacityBytes: capacity, TokensPerPage: tokensPerPage,
+		EnablePrefixCache: cache, RequestAware: true,
+	})
+	if err != nil {
+		return Managers{}, err
+	}
+	mp := &maxPaged{
+		Jenga:     m,
+		padWaste:  int64(tFlat - dFlat),
+		draftSeen: make(map[core.RequestID]int),
+	}
+	return Managers{Target: mp, Draft: mp}, nil
+}
+
+// Commit intercepts draft commits to count padding waste.
+func (m *maxPaged) Commit(seq *core.Sequence, upTo int, now core.Tick) {
+	m.Jenga.Commit(seq, upTo, now)
+	if seq.Tag == TagDraft {
+		seen := m.draftSeen[seq.ID]
+		if upTo > seen {
+			m.draftTotal += int64(upTo - seen)
+			m.draftSeen[seq.ID] = upTo
+		}
+	}
+}
+
+// Release drops the padding accounting with the sequence.
+func (m *maxPaged) Release(seq *core.Sequence, cache bool) {
+	m.Jenga.Release(seq, cache)
+	if seq.Tag == TagDraft {
+		m.draftTotal -= int64(m.draftSeen[seq.ID])
+		delete(m.draftSeen, seq.ID)
+	}
+}
+
+// Usage re-labels the padded tail of live draft pages as waste.
+func (m *maxPaged) Usage() core.Usage {
+	u := m.Jenga.Usage()
+	pad := m.draftTotal * m.padWaste
+	if pad > u.Used {
+		pad = u.Used
+	}
+	u.Used -= pad
+	u.Wasted += pad
+	return u
+}
+
+// NewVLLMManual builds the SmartSpec-style manual split (§7.4,
+// vllm-manual): memory statically divided between two flattened paged
+// pools, proportional to each model's per-token KV weighted by the
+// expected draft:target token ratio.
+func NewVLLMManual(target, draft *model.Spec, capacity int64, tokensPerPage int, cache bool, draftTokenRatio float64) (Managers, error) {
+	if draftTokenRatio <= 0 {
+		draftTokenRatio = 1
+	}
+	tFlat := float64(Flatten(target).Groups[0].BytesPerToken)
+	dFlat := float64(Flatten(draft).Groups[0].BytesPerToken) * draftTokenRatio
+	frac := dFlat / (tFlat + dFlat)
+	draftCap := int64(float64(capacity) * frac)
+	tm, err := NewPaged(Config{
+		Spec: target, CapacityBytes: capacity - draftCap,
+		TokensPerPage: tokensPerPage, EnablePrefixCache: cache,
+	})
+	if err != nil {
+		return Managers{}, err
+	}
+	dm, err := NewPaged(Config{
+		Spec: draft, CapacityBytes: draftCap,
+		TokensPerPage: tokensPerPage, EnablePrefixCache: cache,
+	})
+	if err != nil {
+		return Managers{}, err
+	}
+	return Managers{Target: tm, Draft: dm}, nil
+}

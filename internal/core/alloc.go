@@ -1,0 +1,386 @@
+package core
+
+import (
+	"container/heap"
+
+	"jenga/internal/arena"
+)
+
+// Eviction heaps. Entries are immutable snapshots validated lazily on
+// pop: a page (or large page) whose state or timestamp moved on since
+// the entry was pushed is skipped or re-pushed with fresh keys, which
+// keeps every mutation O(log n) without decrease-key support.
+
+type pageEntry struct {
+	id      arena.SmallPageID
+	ts      Tick
+	prio    int64
+	expired bool
+}
+
+// pageHeap orders evictable pages expired-first (§3.3: out-of-window
+// KV is evicted before any live page), then by (lastAccess asc,
+// priority desc, id asc) — LRU with the §5.1 prefix-length tie break.
+type pageHeap []pageEntry
+
+func (h pageHeap) Len() int { return len(h) }
+func (h pageHeap) Less(i, j int) bool {
+	if h[i].expired != h[j].expired {
+		return h[i].expired
+	}
+	if h[i].ts != h[j].ts {
+		return h[i].ts < h[j].ts
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].id < h[j].id
+}
+func (h pageHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pageHeap) Push(x any)   { *h = append(*h, x.(pageEntry)) }
+func (h *pageHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type largeEntry struct {
+	id      arena.LargePageID
+	ts      Tick
+	expired bool
+}
+
+// largeHeap orders evictable large pages expired-first, then by the
+// latest last-access time among their small pages (§5.4 step 3).
+type largeHeap []largeEntry
+
+func (h largeHeap) Len() int { return len(h) }
+func (h largeHeap) Less(i, j int) bool {
+	if h[i].expired != h[j].expired {
+		return h[i].expired
+	}
+	if h[i].ts != h[j].ts {
+		return h[i].ts < h[j].ts
+	}
+	return h[i].id < h[j].id
+}
+func (h largeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *largeHeap) Push(x any)   { *h = append(*h, x.(largeEntry)) }
+func (h *largeHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// --- page state transitions -------------------------------------------
+
+// pageToUsed moves an empty or cached page into the used state with one
+// reference held by req.
+func (m *Jenga) pageToUsed(g *group, id arena.SmallPageID, req RequestID) {
+	pg := &g.pages[id]
+	L := m.largeOf(g, id)
+	switch pg.status {
+	case pageEmpty:
+		delete(g.freeAny, id)
+		pg.filled, pg.dead = 0, 0
+		pg.hash, pg.complete, pg.hashed = 0, false, false
+	case pageCached:
+		// Re-claimed prefix-cache page: its content is a full valid
+		// block for the claimant, so dead slots reset.
+		check(pg.ref == 0, "cached page %d has refs", id)
+		g.nCached--
+		m.cntCached[L]--
+		pg.dead = 0
+		pg.expired = false
+		g.filledSlots += int64(pg.filled)
+	default:
+		check(false, "pageToUsed on used page %d", id)
+	}
+	pg.status = pageUsed
+	pg.ref = 1
+	pg.assoc = req
+	g.nUsed++
+	m.cntUsed[L]++
+	m.stats.Allocs++
+}
+
+// pageAddRef shares an already-used page with another request.
+func (m *Jenga) pageAddRef(g *group, id arena.SmallPageID) {
+	pg := &g.pages[id]
+	check(pg.status == pageUsed && pg.ref > 0, "addRef on non-used page %d", id)
+	pg.ref++
+}
+
+// pageRelease drops one reference; at zero the page becomes cached
+// (when cache is true and the block hash was published) or empty.
+// exitTS is the page's final last-access time (§5.1 semantics: the time
+// the page was last read by a computation). expired marks KV outside
+// the dependency horizon — first in line for eviction (§3.3).
+func (m *Jenga) pageRelease(g *group, id arena.SmallPageID, cache bool, exitTS Tick, expired bool) {
+	pg := &g.pages[id]
+	check(pg.status == pageUsed && pg.ref > 0, "release on non-used page %d", id)
+	pg.ref--
+	if pg.ref > 0 {
+		return
+	}
+	L := m.largeOf(g, id)
+	g.nUsed--
+	m.cntUsed[L]--
+	g.filledSlots -= int64(pg.filled)
+	g.deadSlots -= int64(pg.dead)
+	if cache && pg.complete && !pg.hashed {
+		// The block was computed while another page owned the index
+		// entry for the same content; publish now if the slot freed up.
+		if _, ok := g.index[pg.hash]; !ok {
+			g.index[pg.hash] = id
+			pg.hashed = true
+		}
+	}
+	if cache && pg.hashed {
+		pg.status = pageCached
+		pg.lastAccess = exitTS
+		pg.expired = expired
+		g.nCached++
+		m.cntCached[L]++
+		heap.Push(&g.evict, pageEntry{id: id, ts: pg.lastAccess, prio: pg.priority, expired: expired})
+		if m.cntUsed[L] == 0 {
+			m.pushLargeCandidate(L)
+		}
+		return
+	}
+	m.pageToEmpty(g, id)
+}
+
+// pageToEmpty returns a page to the free pool and reclaims its large
+// page if it became entirely empty.
+func (m *Jenga) pageToEmpty(g *group, id arena.SmallPageID) {
+	pg := &g.pages[id]
+	if pg.hashed {
+		if cur, ok := g.index[pg.hash]; ok && cur == id {
+			delete(g.index, pg.hash)
+		}
+		pg.hashed = false
+	}
+	pg.status = pageEmpty
+	pg.filled, pg.dead = 0, 0
+	pg.complete = false
+	g.freeAny[id] = struct{}{}
+	if m.cfg.RequestAware {
+		g.freeByReq[pg.assoc] = append(g.freeByReq[pg.assoc], id)
+	}
+	m.stats.Frees++
+	L := m.largeOf(g, id)
+	if m.cntUsed[L] == 0 && m.cntCached[L] == 0 {
+		m.reclaimLarge(g, L)
+	}
+}
+
+// evictCached empties a cached page (prefix-cache eviction).
+func (m *Jenga) evictCached(g *group, id arena.SmallPageID) {
+	pg := &g.pages[id]
+	check(pg.status == pageCached, "evict on non-cached page %d", id)
+	L := m.largeOf(g, id)
+	g.nCached--
+	m.cntCached[L]--
+	m.pageToEmpty(g, id)
+}
+
+// reclaimLarge returns a fully empty large page to the LCM allocator —
+// the payoff of request-aware placement (§4.3).
+func (m *Jenga) reclaimLarge(g *group, L arena.LargePageID) {
+	check(m.largeOwner[L] == int32(g.idx), "reclaim of foreign large page %d", L)
+	first, n := g.view.SmallRange(L)
+	for i := 0; i < n; i++ {
+		delete(g.freeAny, first+arena.SmallPageID(i))
+	}
+	g.ownedLarge--
+	m.largeOwner[L] = -1
+	m.freeLarge = append(m.freeLarge, L)
+	m.stats.LargeReclaims++
+}
+
+// pushLargeCandidate registers a large page as an eviction candidate
+// with the max last-access among its cached small pages.
+func (m *Jenga) pushLargeCandidate(L arena.LargePageID) {
+	ts, expired, ok := m.largeTimestamp(L)
+	if !ok {
+		return
+	}
+	heap.Push(&m.largeEvict, largeEntry{id: L, ts: ts, expired: expired})
+}
+
+// largeTimestamp computes the eviction key of a large page: the latest
+// last-access among its cached small pages, and whether every cached
+// page holds expired KV (such pages evict first, §3.3). ok is false
+// when the page is not currently evictable.
+func (m *Jenga) largeTimestamp(L arena.LargePageID) (Tick, bool, bool) {
+	if m.largeOwner[L] < 0 || m.cntUsed[L] != 0 || m.cntCached[L] == 0 {
+		return 0, false, false
+	}
+	g := m.groups[m.largeOwner[L]]
+	first, n := g.view.SmallRange(L)
+	var ts Tick
+	expired := true
+	for i := 0; i < n; i++ {
+		pg := &g.pages[first+arena.SmallPageID(i)]
+		if pg.status == pageCached {
+			if pg.lastAccess > ts {
+				ts = pg.lastAccess
+			}
+			expired = expired && pg.expired
+		}
+	}
+	return ts, expired, true
+}
+
+// --- §5.4 allocation ----------------------------------------------------
+
+// allocSmall finds one empty-or-evicted small page of group g for
+// request req, following the five-step policy of §5.4:
+//
+//  1. an empty page associated with req;
+//  2. a fresh large page from the LCM allocator;
+//  3. evict an entire evictable large page (LRU by max last access);
+//  4. any empty page of the type, regardless of association;
+//  5. evict a single cached page of the type (LRU + priority).
+//
+// With RequestAware disabled (ablation), step 4 runs before steps 1–3.
+func (m *Jenga) allocSmall(g *group, req RequestID) (arena.SmallPageID, error) {
+	if !m.cfg.RequestAware {
+		if id, ok := m.popAnyFree(g); ok {
+			m.pageToUsed(g, id, req)
+			return id, nil
+		}
+	}
+	// Step 1: request-associated empty page.
+	if m.cfg.RequestAware {
+		if id, ok := m.popAssocFree(g, req); ok {
+			m.pageToUsed(g, id, req)
+			return id, nil
+		}
+	}
+	// Step 2: carve a fresh large page.
+	if id, ok := m.takeFreshLarge(g, req); ok {
+		m.pageToUsed(g, id, req)
+		return id, nil
+	}
+	// Step 3: evict a whole large page (possibly another type's).
+	if m.evictLargeLRU() {
+		if id, ok := m.takeFreshLarge(g, req); ok {
+			m.pageToUsed(g, id, req)
+			return id, nil
+		}
+		check(false, "large eviction produced no free large page")
+	}
+	// Step 4: any empty page of the type.
+	if id, ok := m.popAnyFree(g); ok {
+		m.pageToUsed(g, id, req)
+		return id, nil
+	}
+	// Step 5: evict one cached page of the type. The eviction may have
+	// emptied an entire large page (which reclaimLarge returned to the
+	// LCM allocator), so re-probe the free pools rather than using the
+	// evicted page directly.
+	for m.evictOneSmall(g) {
+		if id, ok := m.popAnyFree(g); ok {
+			m.pageToUsed(g, id, req)
+			return id, nil
+		}
+		if id, ok := m.takeFreshLarge(g, req); ok {
+			m.pageToUsed(g, id, req)
+			return id, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// popAssocFree pops an empty page associated with req (lazy list).
+func (m *Jenga) popAssocFree(g *group, req RequestID) (arena.SmallPageID, bool) {
+	lst := g.freeByReq[req]
+	for len(lst) > 0 {
+		id := lst[len(lst)-1]
+		lst = lst[:len(lst)-1]
+		pg := &g.pages[id]
+		if pg.status == pageEmpty && pg.assoc == req &&
+			m.largeOwner[m.largeOf(g, id)] == int32(g.idx) {
+			if _, ok := g.freeAny[id]; ok {
+				g.freeByReq[req] = lst
+				return id, true
+			}
+		}
+	}
+	delete(g.freeByReq, req)
+	return 0, false
+}
+
+// popAnyFree pops an arbitrary empty page of the group.
+func (m *Jenga) popAnyFree(g *group) (arena.SmallPageID, bool) {
+	for id := range g.freeAny {
+		return id, true
+	}
+	return 0, false
+}
+
+// takeFreshLarge assigns a free large page to g, associates all its
+// small pages with req, and returns the first of them.
+func (m *Jenga) takeFreshLarge(g *group, req RequestID) (arena.SmallPageID, bool) {
+	if len(m.freeLarge) == 0 {
+		return 0, false
+	}
+	L := m.freeLarge[len(m.freeLarge)-1]
+	m.freeLarge = m.freeLarge[:len(m.freeLarge)-1]
+	check(m.largeOwner[L] == -1, "free large page %d has owner", L)
+	m.largeOwner[L] = int32(g.idx)
+	m.largeAssoc[L] = req
+	g.ownedLarge++
+	first, n := g.view.SmallRange(L)
+	for i := n - 1; i >= 0; i-- {
+		id := first + arena.SmallPageID(i)
+		pg := &g.pages[id]
+		pg.status = pageEmpty
+		pg.ref, pg.filled, pg.dead = 0, 0, 0
+		pg.hashed = false
+		pg.assoc = req
+		g.freeAny[id] = struct{}{}
+		if m.cfg.RequestAware && i > 0 {
+			g.freeByReq[req] = append(g.freeByReq[req], id)
+		}
+	}
+	return first, true
+}
+
+// evictLargeLRU evicts the least-recently-used evictable large page,
+// returning it to the LCM free list. Reports whether one was evicted.
+func (m *Jenga) evictLargeLRU() bool {
+	for m.largeEvict.Len() > 0 {
+		e := heap.Pop(&m.largeEvict).(largeEntry)
+		ts, expired, ok := m.largeTimestamp(e.id)
+		if !ok {
+			continue // stale: no longer evictable
+		}
+		if ts != e.ts || expired != e.expired {
+			heap.Push(&m.largeEvict, largeEntry{id: e.id, ts: ts, expired: expired})
+			continue // stale key: retry with fresh position
+		}
+		og := m.groups[m.largeOwner[e.id]]
+		first, n := og.view.SmallRange(e.id)
+		for i := 0; i < n; i++ {
+			id := first + arena.SmallPageID(i)
+			if og.pages[id].status == pageCached {
+				m.evictCached(og, id)
+			}
+		}
+		m.stats.LargeEvictions++
+		// pageToEmpty → reclaimLarge put it on freeLarge.
+		return true
+	}
+	return false
+}
+
+// evictOneSmall evicts the least-recently-used cached page of g,
+// reporting whether any eviction happened.
+func (m *Jenga) evictOneSmall(g *group) bool {
+	for g.evict.Len() > 0 {
+		e := heap.Pop(&g.evict).(pageEntry)
+		pg := &g.pages[e.id]
+		if pg.status != pageCached || pg.lastAccess != e.ts || pg.priority != e.prio || pg.expired != e.expired {
+			continue // stale
+		}
+		m.evictCached(g, e.id)
+		m.stats.SmallEvictions++
+		return true
+	}
+	return false
+}

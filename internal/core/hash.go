@@ -1,0 +1,95 @@
+package core
+
+// Block hashing for prefix caching. As in vLLM, a block's hash chains
+// the parent block's hash with the block's token IDs, so a hash value
+// identifies the entire prefix up to and including the block. Presence
+// in the index is per block: evicting an early block makes that block
+// miss without invalidating the identities of later blocks, which is
+// what lets sliding-window layers hit on prefixes whose early tokens
+// are gone (§5.2).
+
+// blockHashSeed distinguishes an empty chain from a zero hash.
+const blockHashSeed uint64 = 0x6A656E6761_5F4B56 // "jenga_KV"
+
+// hashChain extends a parent hash with one token.
+func hashChain(parent uint64, tok Token) uint64 {
+	x := parent ^ (uint64(uint32(tok.ID)) + 0x9E3779B97F4A7C15)
+	if tok.Image {
+		x ^= 0xA5A5A5A5A5A5A5A5
+	}
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+// blockHashes returns the chained hash of every complete block of size
+// blockTokens over the projected token list. Element k covers projected
+// tokens [k*blockTokens, (k+1)*blockTokens).
+func blockHashes(tokens []Token, blockTokens int) []uint64 {
+	if blockTokens <= 0 {
+		return nil
+	}
+	n := len(tokens) / blockTokens
+	out := make([]uint64, n)
+	h := blockHashSeed
+	for k := 0; k < n; k++ {
+		for i := k * blockTokens; i < (k+1)*blockTokens; i++ {
+			h = hashChain(h, tokens[i])
+		}
+		out[k] = h
+	}
+	return out
+}
+
+// prefixHash returns the chained hash over the first n projected
+// tokens; used to identify Mamba state checkpoints, which snapshot the
+// whole prefix at one position.
+func prefixHash(tokens []Token, n int) uint64 {
+	h := blockHashSeed
+	for i := 0; i < n && i < len(tokens); i++ {
+		h = hashChain(h, tokens[i])
+	}
+	return h
+}
+
+// project returns the subsequence of tokens a group stores (its
+// "projected sequence") given the group's modality filter, plus the
+// mapping from projected index to full-sequence index.
+func project(tokens []Token, storesImage, storesText bool) ([]Token, []int) {
+	if storesImage && storesText {
+		idx := make([]int, len(tokens))
+		for i := range idx {
+			idx[i] = i
+		}
+		return tokens, idx
+	}
+	proj := make([]Token, 0, len(tokens))
+	idx := make([]int, 0, len(tokens))
+	for i, t := range tokens {
+		if (t.Image && storesImage) || (!t.Image && storesText) {
+			proj = append(proj, t)
+			idx = append(idx, i)
+		}
+	}
+	return proj, idx
+}
+
+// projectedLen returns how many of the first p full-sequence tokens a
+// group with the given modality filter stores.
+func projectedLen(tokens []Token, p int, storesImage, storesText bool) int {
+	if storesImage && storesText {
+		if p > len(tokens) {
+			return len(tokens)
+		}
+		return p
+	}
+	n := 0
+	for i := 0; i < p && i < len(tokens); i++ {
+		if (tokens[i].Image && storesImage) || (!tokens[i].Image && storesText) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"jenga/internal/arena"
+	"jenga/internal/model"
+)
+
+// Config configures a Jenga manager.
+type Config struct {
+	// Spec is the model architecture (required).
+	Spec *model.Spec
+	// CapacityBytes is the KV-cache memory budget (weights and runtime
+	// reserve already subtracted by the caller).
+	CapacityBytes int64
+	// TokensPerPage is the token-group page granularity (default 16).
+	TokensPerPage int
+	// EnablePrefixCache keeps released pages as evictable cache and
+	// publishes block hashes.
+	EnablePrefixCache bool
+	// Backed allocates real bytes behind the arena so layout can be
+	// verified (tests/examples only).
+	Backed bool
+	// RequestAware enables §4.3 request-aware small-page placement.
+	// Disabled only by the ablation benchmark.
+	RequestAware bool
+	// PolicyOverride, when non-nil, replaces the default policy derived
+	// from a group's Kind (keyed by group name). This is the hook the
+	// paper describes for plugging in new attention variants.
+	PolicyOverride map[string]Policy
+}
+
+// Stats counts allocator events since construction.
+type Stats struct {
+	// Allocs and Frees count small-page transitions.
+	Allocs, Frees int64
+	// SmallEvictions counts §5.4 step-5 single-page evictions.
+	SmallEvictions int64
+	// LargeEvictions counts §5.4 step-3 whole-large-page evictions.
+	LargeEvictions int64
+	// LargeReclaims counts large pages returned by request completion.
+	LargeReclaims int64
+}
+
+// pageStatus is the three-state life cycle of §5.4.
+type pageStatus uint8
+
+const (
+	pageEmpty  pageStatus = iota // no valid KV, allocatable
+	pageUsed                     // referenced by ≥1 running request
+	pageCached                   // valid KV, unreferenced, evictable
+)
+
+// page is per-small-page metadata.
+type page struct {
+	status pageStatus
+	ref    int32
+	// filled is the number of token slots written (≤ tokensPerPage).
+	filled int32
+	// dead is the number of filled slots whose KV the architecture no
+	// longer needs but that share the page with live slots.
+	dead int32
+	// assoc is the request the page is associated with (§4.3).
+	assoc RequestID
+	// hash is the block identity once the block is complete; hashed
+	// reports the page owns the index entry for that hash.
+	hash     uint64
+	complete bool
+	hashed   bool
+	// lastAccess and priority order eviction (§5.1).
+	lastAccess Tick
+	priority   int64
+	// expired marks cached pages holding KV outside the architecture's
+	// dependency horizon (out-of-window tokens). §3.3: such pages are
+	// prioritized for eviction over any in-window page, regardless of
+	// recency.
+	expired bool
+}
+
+// group is the per-layer-type allocator + evictor state.
+type group struct {
+	idx  int
+	spec model.KVGroup
+	pol  Policy
+	view *arena.View
+
+	smallBytes int // small-page size
+	slotUnit   int // bytes per token slot across the group's layers
+	tpp        int // token slots per page (1 for Mamba)
+	ratio      int // small pages per large page
+
+	pages []page // indexed by SmallPageID
+
+	// index maps published block hash → page (prefix cache).
+	index map[uint64]arena.SmallPageID
+	// freeByReq holds empty pages grouped by associated request
+	// (lazy — entries validated on pop).
+	freeByReq map[RequestID][]arena.SmallPageID
+	// freeAny holds every empty page in group-owned large pages
+	// (strictly maintained).
+	freeAny map[arena.SmallPageID]struct{}
+	// evict orders cached pages by (lastAccess, -priority).
+	evict pageHeap
+
+	// counters for Usage (pages in the "used" state only for slots).
+	ownedLarge  int
+	nUsed       int
+	nCached     int
+	filledSlots int64
+	deadSlots   int64
+}
+
+func (g *group) isVision() bool { return g.spec.Kind == model.VisionEmbedding }
+
+// Jenga is the two-level memory manager (§4, §5).
+type Jenga struct {
+	cfg Config
+	geo *model.PageGeometry
+	ar  *arena.Arena
+
+	groups []*group
+	byName map[string]int
+
+	// large-page state, indexed by LargePageID.
+	largeOwner []int32 // owning group index, -1 when free
+	largeAssoc []RequestID
+	cntUsed    []int32 // used small pages per large page
+	cntCached  []int32 // cached small pages per large page
+
+	freeLarge  []arena.LargePageID
+	largeEvict largeHeap
+
+	reqs  map[RequestID]*reqState
+	stats Stats
+}
+
+var _ Manager = (*Jenga)(nil)
+
+// DefaultPolicy returns the built-in policy for a group.
+func DefaultPolicy(g *model.KVGroup) Policy {
+	switch g.Kind {
+	case model.SlidingWindow, model.PyramidWindow:
+		return WindowPolicy{Window: g.Window}
+	case model.Mamba:
+		return MambaPolicy{Every: g.Checkpoint()}
+	case model.CrossAttention:
+		return ImageAtomicPolicy{}
+	case model.VisionEmbedding:
+		return VisionEmbedPolicy{}
+	default:
+		return FullPolicy{}
+	}
+}
+
+// New builds a Jenga manager for the spec with LCM page geometry.
+func New(cfg Config) (*Jenga, error) {
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("core: nil model spec")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TokensPerPage == 0 {
+		cfg.TokensPerPage = 16
+	}
+	if cfg.TokensPerPage < 0 {
+		return nil, fmt.Errorf("core: negative tokensPerPage")
+	}
+	geo, err := cfg.Spec.Geometry(model.LCMPage, cfg.TokensPerPage)
+	if err != nil {
+		return nil, err
+	}
+	var ar *arena.Arena
+	if cfg.Backed {
+		ar, err = arena.NewBacked(cfg.CapacityBytes, geo.LargePageBytes)
+	} else {
+		ar, err = arena.New(cfg.CapacityBytes, geo.LargePageBytes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ar.NumLargePages() == 0 {
+		return nil, fmt.Errorf("core: capacity %d below one large page (%d bytes)",
+			cfg.CapacityBytes, geo.LargePageBytes)
+	}
+
+	m := &Jenga{
+		cfg:        cfg,
+		geo:        geo,
+		ar:         ar,
+		byName:     make(map[string]int, len(cfg.Spec.Groups)),
+		largeOwner: make([]int32, ar.NumLargePages()),
+		largeAssoc: make([]RequestID, ar.NumLargePages()),
+		cntUsed:    make([]int32, ar.NumLargePages()),
+		cntCached:  make([]int32, ar.NumLargePages()),
+		reqs:       make(map[RequestID]*reqState),
+	}
+	for i := range m.largeOwner {
+		m.largeOwner[i] = -1
+	}
+	// Free list in reverse so allocation proceeds from page 0 upward.
+	m.freeLarge = make([]arena.LargePageID, 0, ar.NumLargePages())
+	for i := ar.NumLargePages() - 1; i >= 0; i-- {
+		m.freeLarge = append(m.freeLarge, arena.LargePageID(i))
+	}
+
+	for i := range cfg.Spec.Groups {
+		gs := cfg.Spec.Groups[i]
+		tpp := cfg.TokensPerPage
+		if gs.Kind == model.Mamba {
+			tpp = 1
+		}
+		small := geo.SmallPageBytes[gs.Name]
+		view, err := ar.View(gs.Name, small, gs.Layers, tpp)
+		if err != nil {
+			return nil, err
+		}
+		pol := DefaultPolicy(&gs)
+		if o, ok := cfg.PolicyOverride[gs.Name]; ok && o != nil {
+			pol = o
+		}
+		g := &group{
+			idx:        i,
+			spec:       gs,
+			pol:        pol,
+			view:       view,
+			smallBytes: small,
+			slotUnit:   small / tpp,
+			tpp:        tpp,
+			ratio:      geo.Ratio[gs.Name],
+			pages:      make([]page, ar.NumLargePages()*geo.Ratio[gs.Name]),
+			index:      make(map[uint64]arena.SmallPageID),
+			freeByReq:  make(map[RequestID][]arena.SmallPageID),
+			freeAny:    make(map[arena.SmallPageID]struct{}),
+		}
+		m.groups = append(m.groups, g)
+		m.byName[gs.Name] = i
+	}
+	return m, nil
+}
+
+// Capacity implements Manager.
+func (m *Jenga) Capacity() int64 { return m.ar.UsableBytes() }
+
+// SupportsVisionCache implements Manager: true when the model declares
+// a vision-embedding group.
+func (m *Jenga) SupportsVisionCache() bool {
+	for _, g := range m.groups {
+		if g.isVision() {
+			return true
+		}
+	}
+	return false
+}
+
+// Geometry returns the LCM page geometry in use.
+func (m *Jenga) Geometry() *model.PageGeometry { return m.geo }
+
+// Stats returns allocator event counters.
+func (m *Jenga) Stats() Stats { return m.stats }
+
+// Arena exposes the underlying arena (for layout verification in tests).
+func (m *Jenga) Arena() *arena.Arena { return m.ar }
+
+// GroupView returns the arena view of a group (layout tests).
+func (m *Jenga) GroupView(name string) (*arena.View, error) {
+	gi, ok := m.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown group %q", name)
+	}
+	return m.groups[gi].view, nil
+}
+
+// Usage implements Manager. Used + Cached + Wasted + Free == Capacity.
+func (m *Jenga) Usage() Usage {
+	u := Usage{PerGroup: make(map[string]GroupUsage, len(m.groups))}
+	var allocatedLarge int64
+	for _, g := range m.groups {
+		gu := GroupUsage{}
+		live := g.filledSlots - g.deadSlots
+		gu.Used = live * int64(g.slotUnit)
+		gu.Cached = int64(g.nCached) * int64(g.smallBytes)
+		tailEmpty := int64(g.nUsed)*int64(g.tpp) - g.filledSlots
+		ownedEmpty := int64(g.ownedLarge*g.ratio - g.nUsed - g.nCached)
+		gu.Wasted = g.deadSlots*int64(g.slotUnit) +
+			tailEmpty*int64(g.slotUnit) +
+			ownedEmpty*int64(g.smallBytes)
+		u.PerGroup[g.spec.Name] = gu
+		u.Used += gu.Used
+		u.Cached += gu.Cached
+		u.Wasted += gu.Wasted
+		allocatedLarge += int64(g.ownedLarge)
+	}
+	u.Free = m.Capacity() - allocatedLarge*int64(m.geo.LargePageBytes)
+	return u
+}
+
+// largeOf returns the large page containing small page p of group g.
+func (m *Jenga) largeOf(g *group, p arena.SmallPageID) arena.LargePageID {
+	return g.view.LargeOf(p)
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"jenga/internal/model"
+)
+
+// taggedSpec merges three models with different page sizes into one
+// heap — a harder configuration than spec-decode's two.
+func taggedSpec() *model.Spec {
+	return &model.Spec{
+		Name: "three-models", Params: 1000, WeightBytes: 2, HiddenSize: 8,
+		Groups: []model.KVGroup{
+			{Name: "a:self", Kind: model.FullAttention, Layers: 3, BytesPerToken: 64, Tag: "A"},
+			{Name: "a:win", Kind: model.SlidingWindow, Layers: 1, BytesPerToken: 64, Window: 6, Tag: "A"},
+			{Name: "b:self", Kind: model.FullAttention, Layers: 2, BytesPerToken: 128, Tag: "B"},
+			{Name: "c:mamba", Kind: model.Mamba, Layers: 1, StateBytes: 768, CheckpointEvery: 8, Tag: "C"},
+			{Name: "c:self", Kind: model.FullAttention, Layers: 1, BytesPerToken: 64, Tag: "C"},
+		},
+	}
+}
+
+// TestMultiModelRandomOps drives three tagged models through one heap
+// with random interleaved traffic, auditing every invariant after each
+// operation. Tag mix-ups (one model's sequence touching another's
+// groups) would corrupt the audit immediately.
+func TestMultiModelRandomOps(t *testing.T) {
+	tags := []string{"A", "B", "C"}
+	for _, seed := range []int64{3, 17} {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := New(Config{
+			Spec: taggedSpec(), CapacityBytes: 1 << 16, TokensPerPage: 2,
+			EnablePrefixCache: true, RequestAware: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []*simSeq
+		var nextID RequestID = 1
+		for op := 0; op < 500; op++ {
+			now := Tick(op)
+			switch r := rng.Intn(10); {
+			case r < 5 || len(live) == 0:
+				var ss *simSeq
+				if len(live) == 0 || rng.Intn(3) == 0 {
+					s := &Sequence{ID: nextID, Tag: tags[rng.Intn(3)]}
+					nextID++
+					n := 4 + rng.Intn(24)
+					base := int32(rng.Intn(2) * 500)
+					for i := 0; i < n; i++ {
+						s.Tokens = append(s.Tokens, Token{ID: base + int32(i)})
+					}
+					s.PromptLen = n
+					ss = &simSeq{seq: s}
+					live = append(live, ss)
+				} else {
+					ss = live[rng.Intn(len(live))]
+				}
+				target := ss.reserved + 1 + rng.Intn(6)
+				if target > len(ss.seq.Tokens) {
+					target = len(ss.seq.Tokens)
+				}
+				if err := m.Reserve(ss.seq, target, now); err != nil {
+					if !errors.Is(err, ErrNoSpace) {
+						t.Fatalf("reserve: %v", err)
+					}
+					m.Release(ss.seq, rng.Intn(2) == 0)
+					live = removeSim(live, ss)
+				} else if target > ss.reserved {
+					ss.reserved = target
+				}
+			case r < 8:
+				ss := live[rng.Intn(len(live))]
+				if ss.committed < ss.reserved {
+					ss.committed += 1 + rng.Intn(ss.reserved-ss.committed)
+					m.Commit(ss.seq, ss.committed, now)
+				}
+			default:
+				ss := live[rng.Intn(len(live))]
+				m.Release(ss.seq, rng.Intn(2) == 0)
+				live = removeSim(live, ss)
+			}
+			audit(t, m)
+		}
+		for _, ss := range live {
+			m.Release(ss.seq, false)
+		}
+		audit(t, m)
+	}
+}
+
+func removeSim(live []*simSeq, s *simSeq) []*simSeq {
+	for i, c := range live {
+		if c == s {
+			return append(live[:i], live[i+1:]...)
+		}
+	}
+	return live
+}
+
+// TestCrossTagLookupIsolation: identical content under different tags
+// never cross-hits, even under heavy interleaving.
+func TestCrossTagLookupIsolation(t *testing.T) {
+	m, err := New(Config{
+		Spec: taggedSpec(), CapacityBytes: 1 << 18, TokensPerPage: 2,
+		EnablePrefixCache: true, RequestAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tag := range []string{"A", "B", "C"} {
+		s := textSeq(RequestID(i+1), 17)
+		s.Tag = tag
+		s.PromptLen = 17
+		if err := m.Reserve(s, 17, Tick(i)); err != nil {
+			t.Fatal(err)
+		}
+		m.Commit(s, 17, Tick(i))
+		m.Release(s, true)
+	}
+	for i, tag := range []string{"A", "B", "C"} {
+		probe := textSeq(RequestID(100+i), 17)
+		probe.Tag = tag
+		if p := m.Lookup(probe); p == 0 {
+			t.Errorf("tag %s should hit its own cache", tag)
+		}
+	}
+	// A fourth, unknown tag matches no groups and must not hit or panic.
+	ghost := textSeq(999, 17)
+	ghost.Tag = "D"
+	if p := m.Lookup(ghost); p != 0 {
+		t.Errorf("unknown tag hit %d", p)
+	}
+	audit(t, m)
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"jenga/internal/model"
+)
+
+// specDecodeSpec merges a large target model and a small draft model
+// into one manager via group tags (§6.1). Per-token KV: target 512,
+// draft 128 → LCM page sharing at 512-byte granularity (tpp 1).
+func specDecodeSpec() *model.Spec {
+	return &model.Spec{
+		Name: "spec-decode", Params: 1000, WeightBytes: 2, HiddenSize: 8,
+		Groups: []model.KVGroup{
+			{Name: "t:self", Kind: model.FullAttention, Layers: 4, BytesPerToken: 128, Tag: "target"},
+			{Name: "d:self", Kind: model.FullAttention, Layers: 1, BytesPerToken: 128, Tag: "draft"},
+		},
+	}
+}
+
+// TestMultiModelSharedHeap: draft and target sequences allocate only
+// their own groups, share the LCM pool, and exchange large pages.
+func TestMultiModelSharedHeap(t *testing.T) {
+	m := newMgr(t, specDecodeSpec(), 16*512, 1, false)
+	tgt := textSeq(1, 8)
+	tgt.Tag = "target"
+	drf := textSeq(2, 8)
+	drf.Tag = "draft"
+
+	if err := m.Reserve(tgt, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tgt, 8, 1)
+	if err := m.Reserve(drf, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(drf, 8, 1)
+	audit(t, m)
+
+	u := m.Usage()
+	if got := u.PerGroup["t:self"].Used; got != 8*512 {
+		t.Errorf("target used = %d, want %d", got, 8*512)
+	}
+	if got := u.PerGroup["d:self"].Used; got != 8*128 {
+		t.Errorf("draft used = %d, want %d", got, 8*128)
+	}
+	// Draft pages are 128 B inside 512 B large pages (ratio 4): 8 draft
+	// tokens occupy 2 large pages exactly → zero draft waste.
+	if got := u.PerGroup["d:self"].Wasted; got != 0 {
+		t.Errorf("draft wasted = %d, want 0", got)
+	}
+
+	// Release the target; the draft can then grow into the freed large
+	// pages — the §6.1 inter-model memory exchange.
+	m.Release(tgt, false)
+	drf.Tokens = append(drf.Tokens, textSeq(0, 24).Tokens...)
+	if err := m.Reserve(drf, 32, 2); err != nil {
+		t.Fatalf("draft growth into freed target pages failed: %v", err)
+	}
+	m.Commit(drf, 32, 2)
+	audit(t, m)
+	m.Release(drf, false)
+	audit(t, m)
+}
+
+// TestMultiModelPrefixIsolation: identical token content under
+// different tags must not cross-hit.
+func TestMultiModelPrefixIsolation(t *testing.T) {
+	m := newMgr(t, specDecodeSpec(), 64*512, 1, true)
+	tgt := textSeq(1, 9)
+	tgt.Tag = "target"
+	if err := m.Reserve(tgt, 9, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tgt, 9, 1)
+	m.Release(tgt, true)
+
+	// A draft sequence with identical tokens: its group's index is
+	// empty, so no hit.
+	drf := textSeq(2, 9)
+	drf.Tag = "draft"
+	if p := m.Lookup(drf); p != 0 {
+		t.Errorf("draft lookup = %d, want 0 (per-model isolation)", p)
+	}
+	// A second target sequence hits.
+	tgt2 := textSeq(3, 9)
+	tgt2.Tag = "target"
+	if p := m.Lookup(tgt2); p != 8 {
+		t.Errorf("target lookup = %d, want 8", p)
+	}
+	audit(t, m)
+}

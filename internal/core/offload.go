@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sort"
+
+	"jenga/internal/arena"
+)
+
+// Offload advice (§8): systems that spill KV to host memory or disk
+// (CachedAttention, Mooncake) need a fixed-size transfer granularity
+// and an ordering of what to spill first. Jenga's large pages are the
+// natural granularity — uniform across layer types — and the eviction
+// order is the offload order: what LRU would discard next is what an
+// offloader should copy out first.
+
+// OffloadHint describes one large page an offloader should spill, in
+// priority order (index 0 spills first).
+type OffloadHint struct {
+	// LargePage is the page to spill (LargePageBytes() bytes at offset
+	// LargePage × LargePageBytes in the arena).
+	LargePage arena.LargePageID
+	// Group is the owning layer type.
+	Group string
+	// LastAccess is the page's eviction key (oldest spill first).
+	LastAccess Tick
+	// Expired marks pages holding only out-of-horizon KV: they are the
+	// cheapest to lose and spill before any live page (§3.3 ordering).
+	Expired bool
+}
+
+// OffloadOrder returns up to max evictable large pages in the order the
+// evictor would discard them — expired pages first, then LRU. An
+// offloading layer copies pages out in this order so that when eviction
+// strikes, the discarded bytes already live in the next memory tier.
+// The call is read-only: nothing is evicted.
+func (m *Jenga) OffloadOrder(max int) []OffloadHint {
+	var hints []OffloadHint
+	for L := 0; L < m.ar.NumLargePages(); L++ {
+		ts, expired, ok := m.largeTimestamp(arena.LargePageID(L))
+		if !ok {
+			continue
+		}
+		hints = append(hints, OffloadHint{
+			LargePage:  arena.LargePageID(L),
+			Group:      m.groups[m.largeOwner[L]].spec.Name,
+			LastAccess: ts,
+			Expired:    expired,
+		})
+	}
+	sort.Slice(hints, func(i, j int) bool {
+		if hints[i].Expired != hints[j].Expired {
+			return hints[i].Expired
+		}
+		if hints[i].LastAccess != hints[j].LastAccess {
+			return hints[i].LastAccess < hints[j].LastAccess
+		}
+		return hints[i].LargePage < hints[j].LargePage
+	})
+	if max > 0 && len(hints) > max {
+		hints = hints[:max]
+	}
+	return hints
+}
+
+// OffloadGranularity returns the fixed transfer size an offloader
+// should use: one large page, compatible across every layer type.
+func (m *Jenga) OffloadGranularity() int { return m.geo.LargePageBytes }

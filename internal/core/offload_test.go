@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"jenga/internal/arena"
+)
+
+// TestOffloadOrderMatchesEviction: the advised order must equal the
+// order the evictor actually discards pages in.
+func TestOffloadOrderMatchesEviction(t *testing.T) {
+	m := newMgr(t, windowSpec(4), 1<<15, 2, true) // 64 large pages
+	// Three requests released at increasing ticks build a cache with
+	// distinct last-access times and both eviction classes.
+	for i := 1; i <= 3; i++ {
+		seq := textSeq(RequestID(i), 17)
+		seq.Tokens[0].ID = int32(1000 * i) // distinct content
+		seq.PromptLen = 17
+		if err := m.Reserve(seq, 17, Tick(i)); err != nil {
+			t.Fatal(err)
+		}
+		m.Commit(seq, 17, Tick(i))
+		m.Release(seq, true)
+	}
+	audit(t, m)
+
+	hints := m.OffloadOrder(0)
+	if len(hints) == 0 {
+		t.Fatal("expected offload hints for a cache-full manager")
+	}
+	// Expired hints strictly precede live ones.
+	seenLive := false
+	for _, h := range hints {
+		if h.Expired && seenLive {
+			t.Fatal("expired page ordered after a live page")
+		}
+		if !h.Expired {
+			seenLive = true
+		}
+	}
+	// Within a class, LastAccess is non-decreasing.
+	for i := 1; i < len(hints); i++ {
+		if hints[i].Expired == hints[i-1].Expired && hints[i].LastAccess < hints[i-1].LastAccess {
+			t.Fatalf("hint %d out of LRU order", i)
+		}
+	}
+
+	// The advised first page must be the first actually evicted: force
+	// one eviction via a new allocation that exhausts free memory.
+	first := hints[0].LargePage
+	pressure := textSeq(99, 400)
+	pressure.Tokens[0].ID = 7777
+	err := m.Reserve(pressure, 400, 10)
+	_ = err // may or may not fit entirely; eviction must have occurred
+	if m.largeOwner[first] >= 0 {
+		g := m.groups[m.largeOwner[first]]
+		fp, n := g.view.SmallRange(first)
+		for i := 0; i < n; i++ {
+			if g.pages[fp+arena.SmallPageID(i)].status == pageCached {
+				t.Fatal("advised-first page still holds cache after eviction pressure")
+			}
+		}
+	}
+	audit(t, m)
+}
+
+func TestOffloadLimitAndGranularity(t *testing.T) {
+	m := newMgr(t, windowSpec(4), 1<<20, 2, true)
+	seq := textSeq(1, 33)
+	seq.PromptLen = 33
+	if err := m.Reserve(seq, 33, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(seq, 33, 1)
+	m.Release(seq, true)
+
+	all := m.OffloadOrder(0)
+	if len(all) < 2 {
+		t.Fatalf("expected several hints, got %d", len(all))
+	}
+	two := m.OffloadOrder(2)
+	if len(two) != 2 {
+		t.Fatalf("limit ignored: got %d", len(two))
+	}
+	if two[0] != all[0] || two[1] != all[1] {
+		t.Error("limited order must be a prefix of the full order")
+	}
+	if m.OffloadGranularity() != m.geo.LargePageBytes {
+		t.Error("granularity must be the LCM large page")
+	}
+	// Used pages never appear in hints.
+	busy := textSeq(2, 17)
+	busy.Tokens[0].ID = 4242
+	if err := m.Reserve(busy, 17, 2); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(busy, 17, 2)
+	for _, h := range m.OffloadOrder(0) {
+		L := h.LargePage
+		if m.cntUsed[L] != 0 {
+			t.Fatal("offload hint points at a large page with used pages")
+		}
+	}
+}

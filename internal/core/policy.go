@@ -1,0 +1,228 @@
+package core
+
+// Per-layer-type prefix-caching customization (§5). The paper's Fig. 9a
+// interface exposes update_last_access, set_prefix_length and
+// get_possible_prefix; this file is the Go rendering of that interface:
+//
+//   - AccessedFrom is update_last_access: it names the projected-token
+//     range the next-token computation reads, so only those pages get
+//     fresh timestamps (balanced eviction, §5.1).
+//   - BlockPriority is set_prefix_length: the tie-break value pages get
+//     for aligned eviction (§5.1) — higher values are evicted first
+//     among equal last-access times.
+//   - ValidPrefix is the membership test of get_possible_prefix's set:
+//     whether a model-wide prefix of p tokens is a valid hit for this
+//     layer type (§5.2).
+//   - FreeBelow is the dependency horizon: projected positions below it
+//     hold KV the architecture will never read again and can be freed
+//     or demoted to evictable cache.
+
+// Policy customizes prefix caching and eviction for one layer type.
+type Policy interface {
+	// AccessedFrom returns the lowest projected position whose KV the
+	// computation of the next token reads, given projLen committed
+	// projected tokens. Pages in [AccessedFrom, projLen) carry the
+	// current step's last-access time.
+	AccessedFrom(projLen int) int
+	// FreeBelow returns the projected position below which KV is dead
+	// once projLen projected tokens are committed.
+	FreeBelow(projLen int) int
+	// ValidPrefix reports whether a model-wide prefix of p full-sequence
+	// tokens is a valid cache hit for this layer type.
+	ValidPrefix(v *GroupSeqView, p int) bool
+	// BlockPriority returns the eviction tie-break value for block b.
+	// runChain is the hash-chain value at the start of the current
+	// image run (used by image-atomic policies; zero otherwise).
+	BlockPriority(b int, runChain uint64) int64
+}
+
+// KeepAlive is an optional Policy extension for layer types whose live
+// set is not a contiguous suffix of the prefix. Pages covering
+// projected positions below KeptBelow stay held (never demoted) even
+// when they fall below FreeBelow — e.g. StreamingLLM-style attention
+// sinks, which always read the first few tokens plus a sliding window.
+type KeepAlive interface {
+	// KeptBelow returns the projected position bound of the
+	// always-live head region given projLen committed tokens.
+	KeptBelow(projLen int) int
+}
+
+// GroupSeqView is a read-only projection of one sequence onto one
+// group, built during Lookup. Policies use it to evaluate hit rules.
+type GroupSeqView struct {
+	// ProjCount[p] is the number of projected tokens among the first p
+	// full-sequence tokens (length fullLen+1).
+	ProjCount []int
+	// BlockTokens is the group's tokens-per-page.
+	BlockTokens int
+	// Present[k] reports whether complete block k is in the prefix
+	// cache (live page with a published hash).
+	Present []bool
+	// presentRun[k] is the number of consecutive present blocks ending
+	// at k (0 when block k is absent).
+	presentRun []int
+	// CheckpointAt reports whether a Mamba state checkpoint exists at
+	// exactly projPos projected tokens. Nil for non-Mamba groups.
+	CheckpointAt func(projPos int) bool
+}
+
+// buildRuns fills presentRun from Present.
+func (v *GroupSeqView) buildRuns() {
+	v.presentRun = make([]int, len(v.Present))
+	run := 0
+	for k, ok := range v.Present {
+		if ok {
+			run++
+		} else {
+			run = 0
+		}
+		v.presentRun[k] = run
+	}
+}
+
+// RangeCached reports whether projected tokens [lo, hi) are all cached,
+// at block granularity (tokens in incomplete tail blocks never count).
+func (v *GroupSeqView) RangeCached(lo, hi int) bool {
+	if hi <= lo {
+		return true
+	}
+	firstBlock := lo / v.BlockTokens
+	lastBlock := (hi - 1) / v.BlockTokens
+	if lastBlock >= len(v.Present) {
+		return false // range extends past the last complete block
+	}
+	return v.presentRun[lastBlock] >= lastBlock-firstBlock+1
+}
+
+// FullPolicy is classic self-attention: every prefix token is read
+// every step, nothing is ever dead, and a hit needs the whole prefix.
+type FullPolicy struct{}
+
+// AccessedFrom implements Policy: all prefix KV is read each step.
+func (FullPolicy) AccessedFrom(int) int { return 0 }
+
+// FreeBelow implements Policy: full attention never frees prefix KV.
+func (FullPolicy) FreeBelow(int) int { return 0 }
+
+// ValidPrefix implements Policy: all projected tokens before p must be
+// cached.
+func (FullPolicy) ValidPrefix(v *GroupSeqView, p int) bool {
+	return v.RangeCached(0, v.ProjCount[p])
+}
+
+// BlockPriority implements Policy: later blocks are evicted first.
+func (FullPolicy) BlockPriority(b int, _ uint64) int64 { return int64(b) }
+
+// WindowPolicy is sliding-window attention (and, approximately,
+// PyramidKV token budgets): only the last Window projected tokens are
+// read; earlier KV is dead.
+type WindowPolicy struct {
+	// Window is the attention window in projected tokens.
+	Window int
+}
+
+// AccessedFrom implements Policy (Fig. 9b): only tokens inside the
+// window are accessed.
+func (p WindowPolicy) AccessedFrom(projLen int) int {
+	if projLen <= p.Window {
+		return 0
+	}
+	return projLen - p.Window
+}
+
+// FreeBelow implements Policy: KV outside the window is dead.
+func (p WindowPolicy) FreeBelow(projLen int) int {
+	if projLen <= p.Window {
+		return 0
+	}
+	return projLen - p.Window
+}
+
+// ValidPrefix implements Policy: a prefix hits if the window-suffix of
+// the prefix is cached, even when earlier tokens are evicted (§5.2's
+// [token1̶ token2 token3] example).
+func (p WindowPolicy) ValidPrefix(v *GroupSeqView, prefix int) bool {
+	pl := v.ProjCount[prefix]
+	lo := 0
+	if pl > p.Window {
+		lo = pl - p.Window
+	}
+	return v.RangeCached(lo, pl)
+}
+
+// BlockPriority implements Policy.
+func (WindowPolicy) BlockPriority(b int, _ uint64) int64 { return int64(b) }
+
+// MambaPolicy manages recurrent-state layers: the manager stores one
+// working state per sequence plus checkpoints every Every tokens
+// (§5.3). Hits land only on checkpoint positions.
+type MambaPolicy struct {
+	// Every is the checkpoint interval in projected tokens.
+	Every int
+}
+
+// AccessedFrom implements Policy: only the latest state is touched.
+func (MambaPolicy) AccessedFrom(projLen int) int {
+	if projLen == 0 {
+		return 0
+	}
+	return projLen - 1
+}
+
+// FreeBelow implements Policy: per-token positions hold no KV; the
+// manager tracks state pages separately.
+func (MambaPolicy) FreeBelow(projLen int) int { return projLen }
+
+// ValidPrefix implements Policy: p hits iff its projected length is a
+// checkpoint multiple whose state is cached (or zero).
+func (m MambaPolicy) ValidPrefix(v *GroupSeqView, p int) bool {
+	pl := v.ProjCount[p]
+	if pl == 0 {
+		return true
+	}
+	if m.Every <= 0 || pl%m.Every != 0 || v.CheckpointAt == nil {
+		return false
+	}
+	return v.CheckpointAt(pl)
+}
+
+// BlockPriority implements Policy: later checkpoints are evicted first.
+func (MambaPolicy) BlockPriority(b int, _ uint64) int64 { return int64(b) }
+
+// ImageAtomicPolicy is for cross-attention KV and vision embeddings:
+// evicting one image token forces re-encoding the whole image, so all
+// blocks of one image share a pseudo-random priority — the image with
+// the highest value is evicted first, wholesale (§5.3).
+type ImageAtomicPolicy struct{}
+
+// AccessedFrom implements Policy: cross-attention reads all image KV.
+func (ImageAtomicPolicy) AccessedFrom(int) int { return 0 }
+
+// FreeBelow implements Policy: image KV stays live for the request.
+func (ImageAtomicPolicy) FreeBelow(int) int { return 0 }
+
+// ValidPrefix implements Policy: like full attention over image tokens.
+func (ImageAtomicPolicy) ValidPrefix(v *GroupSeqView, p int) bool {
+	return v.RangeCached(0, v.ProjCount[p])
+}
+
+// BlockPriority implements Policy: a deterministic pseudo-random value
+// derived from the hash chain at the image's first token, identical
+// across layer types and requests for the same image — so all its
+// pages align (§5.1's set_prefix_length with randomized values).
+func (ImageAtomicPolicy) BlockPriority(_ int, runChain uint64) int64 {
+	x := runChain * 0x2545F4914F6CDD1D
+	x ^= x >> 32
+	return int64(x & 0x7FFFFFFFFFFFFFFF)
+}
+
+// VisionEmbedPolicy manages the vision-embedding cache. It never gates
+// model-wide KV hits (embeddings are inputs to prefill, not KV), and
+// uses image-atomic eviction.
+type VisionEmbedPolicy struct {
+	ImageAtomicPolicy
+}
+
+// ValidPrefix implements Policy: the embedding cache never blocks a KV
+// prefix hit; its own hits are queried via Manager-level image lookup.
+func (VisionEmbedPolicy) ValidPrefix(*GroupSeqView, int) bool { return true }

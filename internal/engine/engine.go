@@ -1,0 +1,679 @@
+// Package engine simulates a continuous-batching LLM serving engine in
+// the style of vLLM: FIFO admission, chunked prefill under a token
+// budget, one-token decode steps for running sequences, and
+// recompute-style preemption when memory runs out. The engine is
+// manager-agnostic — Jenga and the PagedAttention baselines plug in
+// through core.Manager, so experiments vary only memory management,
+// exactly as the paper's evaluation does.
+//
+// Time is simulated: each step's duration comes from the gpu.CostModel,
+// so results are deterministic and hardware-independent.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"jenga/internal/core"
+	"jenga/internal/gpu"
+	"jenga/internal/model"
+	"jenga/internal/workload"
+)
+
+// debugSteps enables periodic scheduler state dumps (debugging only).
+var debugSteps = os.Getenv("JENGA_DEBUG") != ""
+
+// VisionStrategy selects how vision embeddings are managed (§6.2).
+type VisionStrategy int
+
+const (
+	// VisionNone: no embedding cache — the encoder re-runs for every
+	// prefill chunk that still involves image tokens (vLLM baseline).
+	VisionNone VisionStrategy = iota
+	// VisionFreeOnDemand: encode once, cache embeddings, free them as
+	// chunks consume them (§6.2a).
+	VisionFreeOnDemand
+	// VisionReuseKV: encode once; embeddings live in the KV pages
+	// already allocated for those tokens, costing no extra memory
+	// (§6.2b).
+	VisionReuseKV
+)
+
+// Config configures an engine run.
+type Config struct {
+	// Spec is the true model architecture.
+	Spec *model.Spec
+	// Device is the simulated GPU.
+	Device gpu.Device
+	// Manager is the KV memory manager under test.
+	Manager core.Manager
+	// MaxBatchTokens is the per-step token budget (chunked prefill
+	// chunk size). Default 2048.
+	MaxBatchTokens int
+	// MaxRunning caps concurrent sequences (max_num_seqs). Default 256.
+	MaxRunning int
+	// MaxPrefills caps concurrently prefilling sequences. Prefills
+	// share the fixed token budget, so admitting more of them adds no
+	// prefill throughput while their KV crowds out the prefix cache;
+	// chunked-prefill schedulers keep this small. Default 2.
+	MaxPrefills int
+	// Vision selects the embedding-cache strategy for VLMs.
+	Vision VisionStrategy
+	// KernelEfficiency models slower kernels (GCD ablation); 0 → 1.0.
+	KernelEfficiency float64
+	// SampleEvery records a memory-usage sample every N steps
+	// (0 disables the timeline).
+	SampleEvery int
+	// MaxSteps aborts runaway simulations. Default 2_000_000.
+	MaxSteps int
+}
+
+// MemSample is one point of the Fig. 16 memory timeline.
+type MemSample struct {
+	Step  int
+	Clock time.Duration
+	Usage core.Usage
+}
+
+// Result aggregates one run's metrics.
+type Result struct {
+	Duration time.Duration
+	Steps    int
+	Finished int
+	Failed   int
+	// ReqPerSec is finished requests per simulated second.
+	ReqPerSec float64
+	// TokensPerSec counts computed prompt tokens plus generated tokens.
+	TokensPerSec float64
+	// MeanTTFT, MeanE2E, MeanTPOT are latency averages over finished
+	// requests.
+	MeanTTFT, MeanE2E, MeanTPOT time.Duration
+	// MeanDecodeBatch is the average number of decoding sequences per
+	// step that decoded anything (Fig. 15).
+	MeanDecodeBatch float64
+	// DecodeBatchTimeline is the per-step decode batch size (Fig. 15).
+	DecodeBatchTimeline []int
+	// MemTimeline is the sampled memory usage (Fig. 16).
+	MemTimeline []MemSample
+	// HitRate is cached prompt tokens / total prompt tokens (Fig. 17).
+	HitRate float64
+	// Preemptions counts recompute-preemptions.
+	Preemptions int
+	// EncoderRuns counts vision-encoder invocations (Fig. 18).
+	EncoderRuns int
+}
+
+type phase int
+
+const (
+	phasePrefill phase = iota
+	phaseDecode
+)
+
+// run is one request's runtime state.
+type run struct {
+	req *workload.Request
+	seq *core.Sequence
+	ph  phase
+	// computed is the number of tokens with committed KV.
+	computed int
+	// cachedHit is the prefix served from cache at (re)admission.
+	cachedHit int
+	// decodesDone counts completed decode steps (need OutputLen-1).
+	decodesDone int
+	// encoded marks that the vision encoder ran for the current
+	// prefill pass (resets on preemption).
+	encoded bool
+	// pendingTarget is the commit target set during scheduling.
+	pendingTarget int
+	// scheduledStep is the step that last scheduled this run; a run
+	// scheduled in the current step must not be preempted (its commit
+	// is already in flight).
+	scheduledStep int
+	firstToken    time.Duration
+	finish        time.Duration
+	started       bool
+}
+
+func (r *run) promptLen() int { return len(r.req.Prompt) }
+
+// Engine executes one simulation run.
+type Engine struct {
+	cfg   Config
+	cost  gpu.CostModel
+	clock time.Duration
+	step  int
+
+	pending  []*run // not yet arrived (sorted by arrival)
+	waiting  []*run // arrived, not running
+	running  []*run
+	finished []*run
+	failed   []*run
+
+	totalPromptComputed int64
+	totalCachedTokens   int64
+	totalPromptTokens   int64
+	totalGenerated      int64
+	preemptions         int
+	encoderRuns         int
+	globalStalls        int
+
+	decodeTimeline []int
+	memTimeline    []MemSample
+}
+
+// New validates the config and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Spec == nil || cfg.Manager == nil {
+		return nil, fmt.Errorf("engine: spec and manager are required")
+	}
+	if cfg.MaxBatchTokens <= 0 {
+		cfg.MaxBatchTokens = 2048
+	}
+	if cfg.MaxRunning <= 0 {
+		cfg.MaxRunning = 256
+	}
+	if cfg.MaxPrefills <= 0 {
+		cfg.MaxPrefills = 2
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 2_000_000
+	}
+	if cfg.Device.Name == "" {
+		cfg.Device = gpu.H100()
+	}
+	return &Engine{
+		cfg:  cfg,
+		cost: gpu.CostModel{Dev: cfg.Device, Spec: cfg.Spec},
+	}, nil
+}
+
+// Run simulates serving the request set to completion.
+func (e *Engine) Run(reqs []workload.Request) (*Result, error) {
+	e.pending = e.pending[:0]
+	for i := range reqs {
+		r := &reqs[i]
+		if r.OutputLen < 1 {
+			return nil, fmt.Errorf("engine: request %d has output length %d", r.ID, r.OutputLen)
+		}
+		e.pending = append(e.pending, &run{
+			req: r,
+			seq: &core.Sequence{ID: core.RequestID(r.ID), PromptLen: len(r.Prompt), Tokens: append([]core.Token{}, r.Prompt...)},
+		})
+		e.totalPromptTokens += int64(len(r.Prompt))
+	}
+	sort.SliceStable(e.pending, func(i, j int) bool {
+		return e.pending[i].req.Arrival < e.pending[j].req.Arrival
+	})
+
+	total := len(e.pending)
+	for len(e.finished)+len(e.failed) < total {
+		e.step++
+		if e.step > e.cfg.MaxSteps {
+			return nil, fmt.Errorf("engine: exceeded %d steps (stuck?)", e.cfg.MaxSteps)
+		}
+		e.admitArrivals()
+		if len(e.running) == 0 && len(e.waiting) == 0 && len(e.pending) > 0 {
+			e.clock = e.pending[0].req.Arrival
+			e.admitArrivals()
+		}
+		if e.step%5000 == 0 && debugSteps {
+			fmt.Printf("step %d clock %v running %d waiting %d pending %d finished %d failed %d stalls %d\n",
+				e.step, e.clock, len(e.running), len(e.waiting), len(e.pending), len(e.finished), len(e.failed), e.globalStalls)
+			for _, r := range e.running {
+				fmt.Printf("  run id=%d ph=%d computed=%d/%d decodes=%d/%d cachedHit=%d\n", r.req.ID, r.ph, r.computed, r.promptLen(), r.decodesDone, r.req.OutputLen, r.cachedHit)
+			}
+		}
+		progressed := e.runStep()
+		if progressed {
+			e.globalStalls = 0
+		} else {
+			e.globalStalls++
+			if !e.handleStall() {
+				return nil, fmt.Errorf("engine: no progress possible at step %d", e.step)
+			}
+		}
+		if e.cfg.SampleEvery > 0 && e.step%e.cfg.SampleEvery == 0 {
+			e.memTimeline = append(e.memTimeline, MemSample{Step: e.step, Clock: e.clock, Usage: e.cfg.Manager.Usage()})
+		}
+	}
+	return e.result(), nil
+}
+
+// admitArrivals moves arrived requests into the waiting queue.
+func (e *Engine) admitArrivals() {
+	for len(e.pending) > 0 && e.pending[0].req.Arrival <= e.clock {
+		e.waiting = append(e.waiting, e.pending[0])
+		e.pending = e.pending[1:]
+	}
+}
+
+// runStep schedules and executes one engine step. Reports whether any
+// work happened.
+func (e *Engine) runStep() bool {
+	now := core.Tick(e.step)
+	work := gpu.StepWork{KernelEfficiency: e.cfg.KernelEfficiency}
+	budget := e.cfg.MaxBatchTokens
+	var committers []*run
+	decodeBatch := 0
+
+	// Phase 1: one decode slot per running decode-phase sequence.
+	for _, r := range append([]*run(nil), e.running...) {
+		if r.ph != phaseDecode || budget <= 0 {
+			continue
+		}
+		if !e.contains(r) {
+			continue // preempted by an earlier iteration of this loop
+		}
+		r.seq.Tokens = append(r.seq.Tokens, e.genToken(r))
+		target := len(r.seq.Tokens)
+		if !e.reserveWithPreemption(r, target, now) {
+			// Roll the speculative append back and wait for memory.
+			r.seq.Tokens = r.seq.Tokens[:target-1]
+			continue
+		}
+		r.pendingTarget = target
+		r.scheduledStep = e.step
+		committers = append(committers, r)
+		budget--
+		decodeBatch++
+		work.DecodeSeqs++
+		work.KVReadBytes += gpu.DecodeKVReadBytes(e.cfg.Spec, e.projCtx(r))
+	}
+
+	// Phase 2: prefill chunks for running prefill-phase sequences.
+	// Prefill continuation never preempts — it waits for decodes to
+	// drain or for the decode path to preempt on its behalf.
+	for _, r := range e.running {
+		if r.ph != phasePrefill || budget <= 0 {
+			continue
+		}
+		chunk := e.schedulePrefill(r, budget, now, &work)
+		if chunk > 0 {
+			budget -= chunk
+			committers = append(committers, r)
+		}
+	}
+
+	// Phase 3: admission of waiting requests. A request is admitted
+	// only when its whole steady-state footprint fits in free plus
+	// evictable memory (vLLM's can_allocate check) — otherwise chunked
+	// prefill would over-admit and thrash on recompute-preemption.
+	prefills := 0
+	for _, r := range e.running {
+		if r.ph == phasePrefill {
+			prefills++
+		}
+	}
+	for budget > 0 && len(e.waiting) > 0 && len(e.running) < e.cfg.MaxRunning &&
+		prefills < e.cfg.MaxPrefills {
+		r := e.waiting[0]
+		u := e.cfg.Manager.Usage()
+		watermark := e.cfg.Manager.Capacity() / 100
+		if e.cfg.Manager.Footprint(r.seq) > u.Free+u.Cached-watermark {
+			break
+		}
+		prefills++
+		e.running = append(e.running, r)
+		e.waiting = e.waiting[1:]
+		if !r.started {
+			r.started = true
+		}
+		chunk := e.schedulePrefill(r, budget, now, &work)
+		if chunk == 0 {
+			// Could not reserve the first chunk: admission is
+			// all-or-nothing, so drop any partial reservation (a
+			// waiting request must hold no memory — it is invisible to
+			// preemption) and stop admitting.
+			e.running = e.running[:len(e.running)-1]
+			e.cfg.Manager.Release(r.seq, false)
+			r.computed = 0
+			r.cachedHit = 0
+			r.encoded = false
+			e.waiting = append([]*run{r}, e.waiting...)
+			break
+		}
+		budget -= chunk
+		committers = append(committers, r)
+	}
+
+	if len(committers) == 0 {
+		return false
+	}
+
+	// Execute: advance the clock by the cost model, then commit.
+	e.clock += e.cost.StepTime(work)
+	e.decodeTimeline = append(e.decodeTimeline, decodeBatch)
+	for _, r := range committers {
+		e.cfg.Manager.Commit(r.seq, r.pendingTarget, now)
+		if r.ph == phasePrefill {
+			e.totalPromptComputed += int64(r.pendingTarget - r.computed)
+			r.computed = r.pendingTarget
+			if e.cfg.Vision == VisionFreeOnDemand && e.cfg.Manager.SupportsVisionCache() {
+				e.cfg.Manager.DropImages(r.seq, r.computed)
+			}
+			// After a preemption the recompute pass covers generated
+			// tokens too, so completion is against the full sequence.
+			if r.computed >= len(r.seq.Tokens) {
+				// Prefill complete: first output token produced now.
+				r.ph = phaseDecode
+				if r.firstToken == 0 {
+					r.firstToken = e.clock
+				}
+				if r.req.OutputLen == 1 {
+					e.finishRun(r)
+				}
+			}
+		} else {
+			r.computed = r.pendingTarget
+			r.decodesDone++
+			e.totalGenerated++
+			if r.decodesDone >= r.req.OutputLen-1 {
+				e.finishRun(r)
+			}
+		}
+	}
+	return true
+}
+
+// schedulePrefill reserves the next prefill chunk for r without
+// preempting anyone, running the vision encoder per the configured
+// strategy. Returns the number of tokens scheduled for compute
+// (0 when blocked on memory).
+func (e *Engine) schedulePrefill(r *run, budget int, now core.Tick, work *gpu.StepWork) int {
+	if r.computed == 0 && r.cachedHit == 0 {
+		// First chunk after (re)admission: consult the prefix cache.
+		r.cachedHit = e.cfg.Manager.Lookup(r.seq)
+		if debugSteps {
+			fmt.Printf("admit id=%d len=%d hit=%d\n", r.req.ID, len(r.seq.Tokens), r.cachedHit)
+		}
+	}
+	images := r.req.PromptImages()
+	encoderTokens := 0
+	if images > 0 && e.cfg.Spec.Vision != nil {
+		switch {
+		case e.cfg.Vision == VisionFreeOnDemand && e.cfg.Manager.SupportsVisionCache():
+			if !r.encoded {
+				// Embeddings must exist before the chunk consumes them.
+				if err := e.cfg.Manager.EncodeImages(r.seq, r.promptLen(), now); err != nil {
+					return 0
+				}
+				encoderTokens = images
+			}
+		case e.cfg.Vision == VisionReuseKV:
+			if !r.encoded {
+				encoderTokens = images
+			}
+		default:
+			// No embedding cache: the encoder re-runs for every chunk
+			// that still needs image embeddings (§7.4 / Fig. 18).
+			if e.imagesRemaining(r) {
+				encoderTokens = images
+			}
+		}
+	}
+
+	start := r.computed
+	if start < r.cachedHit {
+		start = r.cachedHit
+	}
+	// Recompute passes after preemption cover generated tokens too.
+	total := len(r.seq.Tokens)
+	chunk := total - start
+	if chunk > budget {
+		chunk = budget
+	}
+	if chunk < 0 {
+		chunk = 0
+	}
+	target := start + chunk
+	if err := e.cfg.Manager.Reserve(r.seq, target, now); err != nil {
+		return 0
+	}
+	// A prefix hit skips compute for [r.computed, claimed).
+	claimed := e.cfg.Manager.CachedPrefix(r.seq)
+	if claimed > r.computed {
+		e.totalCachedTokens += int64(claimed - r.computed)
+		r.computed = claimed
+	}
+	if target < r.computed {
+		target = r.computed
+	}
+	r.pendingTarget = target
+	r.scheduledStep = e.step
+	if encoderTokens > 0 {
+		work.EncoderTokens += encoderTokens
+		e.encoderRuns++
+		if e.cfg.Vision != VisionNone {
+			r.encoded = true
+		}
+	}
+	computeTokens := target - r.computed
+	work.PrefillTokens += computeTokens
+	work.KVReadBytes += gpu.DecodeKVReadBytes(e.cfg.Spec, e.projCtx(r))
+	if computeTokens == 0 {
+		// Nothing to compute (full-prompt hit): commit advances state.
+		return 1
+	}
+	return computeTokens
+}
+
+// imagesRemaining reports whether un-prefilled image tokens remain.
+func (e *Engine) imagesRemaining(r *run) bool {
+	for i := r.computed; i < r.promptLen(); i++ {
+		if r.req.Prompt[i].Image {
+			return true
+		}
+	}
+	return false
+}
+
+// reserveWithPreemption tries to reserve KV for r, evicting lower-
+// priority (later-arrived) running sequences when memory runs out —
+// vLLM's recompute preemption.
+func (e *Engine) reserveWithPreemption(r *run, upTo int, now core.Tick) bool {
+	for {
+		err := e.cfg.Manager.Reserve(r.seq, upTo, now)
+		if err == nil {
+			return true
+		}
+		victim := e.preemptionVictim(r)
+		if victim == nil {
+			return false
+		}
+		e.preempt(victim)
+	}
+}
+
+// preemptionVictim picks the latest-arrived running sequence other
+// than r (vLLM evicts from the tail). Sequences already scheduled in
+// the current step are immune — their commits are in flight.
+func (e *Engine) preemptionVictim(r *run) *run {
+	var victim *run
+	for _, c := range e.running {
+		if c == r || c.scheduledStep == e.step {
+			continue
+		}
+		if victim == nil || c.req.Arrival > victim.req.Arrival {
+			victim = c
+		}
+	}
+	return victim
+}
+
+// preempt releases a sequence's memory and requeues it for recompute.
+func (e *Engine) preempt(victim *run) {
+	e.cfg.Manager.Release(victim.seq, true)
+	victim.ph = phasePrefill
+	victim.computed = 0
+	victim.cachedHit = 0
+	victim.encoded = false
+	e.preemptions++
+	e.removeRunning(victim)
+	e.waiting = append([]*run{victim}, e.waiting...)
+}
+
+// handleStall resolves a step that scheduled nothing. Returns false if
+// the simulation is irrecoverably stuck.
+func (e *Engine) handleStall() bool {
+	// Future arrivals: fast-forward.
+	if len(e.running) == 0 && len(e.waiting) == 0 && len(e.pending) > 0 {
+		e.clock = e.pending[0].req.Arrival
+		e.globalStalls = 0
+		return true
+	}
+	// A waiting request that cannot start even on an idle engine can
+	// never run (the Ministral-on-L4 vLLM failure): fail it.
+	if len(e.running) == 0 && len(e.waiting) > 0 {
+		r := e.waiting[0]
+		e.waiting = e.waiting[1:]
+		e.cfg.Manager.Release(r.seq, false)
+		e.failed = append(e.failed, r)
+		e.globalStalls = 0
+		if debugSteps {
+			u := e.cfg.Manager.Usage()
+			fmt.Printf("FAIL idle-admission id=%d len=%d fp=%d free=%d cached=%d used=%d wasted=%d\n",
+				r.req.ID, len(r.seq.Tokens), e.cfg.Manager.Footprint(r.seq), u.Free, u.Cached, u.Used, u.Wasted)
+		}
+		return true
+	}
+	if len(e.running) == 0 {
+		return false
+	}
+	// Running sequences globally stuck: the decode path already
+	// preempted everyone it could, so the largest remaining context
+	// exceeds capacity on its own. Give eviction a couple of steps,
+	// then fail it.
+	if e.globalStalls <= 2 {
+		return true
+	}
+	var worst *run
+	for _, r := range e.running {
+		if worst == nil || len(r.seq.Tokens) > len(worst.seq.Tokens) {
+			worst = r
+		}
+	}
+	if debugSteps {
+		u := e.cfg.Manager.Usage()
+		fmt.Printf("FAIL stuck-running id=%d len=%d computed=%d free=%d cached=%d\n",
+			worst.req.ID, len(worst.seq.Tokens), worst.computed, u.Free, u.Cached)
+	}
+	e.cfg.Manager.Release(worst.seq, false)
+	e.removeRunning(worst)
+	e.failed = append(e.failed, worst)
+	e.globalStalls = 0
+	return true
+}
+
+func (e *Engine) finishRun(r *run) {
+	r.finish = e.clock
+	e.cfg.Manager.Release(r.seq, true)
+	e.removeRunning(r)
+	e.finished = append(e.finished, r)
+}
+
+func (e *Engine) removeRunning(r *run) {
+	for i, c := range e.running {
+		if c == r {
+			e.running = append(e.running[:i], e.running[i+1:]...)
+			return
+		}
+	}
+}
+
+func (e *Engine) contains(r *run) bool {
+	for _, c := range e.running {
+		if c == r {
+			return true
+		}
+	}
+	return false
+}
+
+// genToken produces the deterministic "generated" token for a decode
+// step (content derived from request id and position so prefix caching
+// across identical requests behaves consistently).
+func (e *Engine) genToken(r *run) core.Token {
+	pos := len(r.seq.Tokens)
+	x := uint64(r.req.ID)*0x9E3779B97F4A7C15 + uint64(pos)*0xBF58476D1CE4E5B9
+	x ^= x >> 29
+	return core.Token{ID: int32(x%50000 + 1)}
+}
+
+// projCtx returns per-group projected context lengths for KV-read cost.
+func (e *Engine) projCtx(r *run) map[string]int {
+	var text, img int
+	for i := 0; i < r.computed && i < len(r.seq.Tokens); i++ {
+		if r.seq.Tokens[i].Image {
+			img++
+		} else {
+			text++
+		}
+	}
+	ctx := make(map[string]int, len(e.cfg.Spec.Groups))
+	for i := range e.cfg.Spec.Groups {
+		g := &e.cfg.Spec.Groups[i]
+		switch g.Scope {
+		case model.ScopeText:
+			ctx[g.Name] = text
+		case model.ScopeImage:
+			ctx[g.Name] = img
+		default:
+			ctx[g.Name] = text + img
+		}
+	}
+	return ctx
+}
+
+// result assembles the final metrics.
+func (e *Engine) result() *Result {
+	res := &Result{
+		Duration:            e.clock,
+		Steps:               e.step,
+		Finished:            len(e.finished),
+		Failed:              len(e.failed),
+		Preemptions:         e.preemptions,
+		EncoderRuns:         e.encoderRuns,
+		DecodeBatchTimeline: e.decodeTimeline,
+		MemTimeline:         e.memTimeline,
+	}
+	if e.clock > 0 {
+		res.ReqPerSec = float64(len(e.finished)) / e.clock.Seconds()
+		res.TokensPerSec = float64(e.totalPromptComputed+e.totalGenerated) / e.clock.Seconds()
+	}
+	// Hit rate over all prefill work (recompute passes after preemption
+	// included), so it stays in [0, 1].
+	if work := e.totalCachedTokens + e.totalPromptComputed; work > 0 {
+		res.HitRate = float64(e.totalCachedTokens) / float64(work)
+	}
+	var ttft, e2e, tpot time.Duration
+	var tpotN int
+	for _, r := range e.finished {
+		ttft += r.firstToken - r.req.Arrival
+		e2e += r.finish - r.req.Arrival
+		if r.req.OutputLen > 1 {
+			tpot += (r.finish - r.firstToken) / time.Duration(r.req.OutputLen-1)
+			tpotN++
+		}
+	}
+	if n := len(e.finished); n > 0 {
+		res.MeanTTFT = ttft / time.Duration(n)
+		res.MeanE2E = e2e / time.Duration(n)
+	}
+	if tpotN > 0 {
+		res.MeanTPOT = tpot / time.Duration(tpotN)
+	}
+	var steps, sum int
+	for _, b := range e.decodeTimeline {
+		if b > 0 {
+			steps++
+			sum += b
+		}
+	}
+	if steps > 0 {
+		res.MeanDecodeBatch = float64(sum) / float64(steps)
+	}
+	return res
+}

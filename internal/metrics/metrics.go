@@ -1,0 +1,106 @@
+// Package metrics provides small statistics helpers shared by the
+// experiment runners: means, percentiles, ratios and series
+// downsampling for terminal-width output.
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// MeanDuration returns the arithmetic mean (0 for empty input).
+func MeanDuration(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s time.Duration
+	for _, x := range xs {
+		s += x
+	}
+	return s / time.Duration(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank on a sorted copy.
+func Percentile(xs []time.Duration, p float64) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]time.Duration(nil), xs...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	idx := int(float64(len(cp))*p/100+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// Speedup returns a/b, guarding against division by zero.
+func Speedup(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// MeanFloat returns the arithmetic mean of a float slice.
+func MeanFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MeanInt returns the arithmetic mean of an int slice.
+func MeanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}
+
+// Downsample reduces a series to at most n points by striding, always
+// keeping the final point; it returns the original when already short.
+func Downsample(xs []float64, n int) []float64 {
+	if n <= 0 || len(xs) <= n {
+		return xs
+	}
+	out := make([]float64, 0, n)
+	stride := float64(len(xs)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, xs[int(float64(i)*stride)])
+	}
+	out[len(out)-1] = xs[len(xs)-1]
+	return out
+}
+
+// DownsampleInts is Downsample for integer series.
+func DownsampleInts(xs []int, n int) []int {
+	if n <= 0 || len(xs) <= n {
+		return xs
+	}
+	out := make([]int, 0, n)
+	stride := float64(len(xs)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, xs[int(float64(i)*stride)])
+	}
+	out[len(out)-1] = xs[len(xs)-1]
+	return out
+}

@@ -1,0 +1,100 @@
+package model
+
+import "testing"
+
+// TestGeometryAllPoliciesAllModels sweeps every zoo model under every
+// compatibility policy and checks the §4.4 invariants.
+func TestGeometryAllPoliciesAllModels(t *testing.T) {
+	for _, s := range All() {
+		for _, pol := range []CompatPolicy{LCMPage, GCDPage, MaxPage} {
+			g, err := s.Geometry(pol, 16)
+			if err != nil {
+				t.Errorf("%s/%v: %v", s.Name, pol, err)
+				continue
+			}
+			switch pol {
+			case LCMPage:
+				for name, sz := range g.SmallPageBytes {
+					if g.LargePageBytes%sz != 0 {
+						t.Errorf("%s: LCM %d %% %d != 0", s.Name, g.LargePageBytes, sz)
+					}
+					if g.WastePerLargePage[name] != 0 {
+						t.Errorf("%s/%s: LCM tail waste", s.Name, name)
+					}
+				}
+			case GCDPage:
+				for name, sz := range g.SmallPageBytes {
+					if sz%g.LargePageBytes != 0 {
+						t.Errorf("%s/%s: small %d not a multiple of GCD %d",
+							s.Name, name, sz, g.LargePageBytes)
+					}
+				}
+			case MaxPage:
+				maxSeen := 0
+				for _, sz := range g.SmallPageBytes {
+					if sz > maxSeen {
+						maxSeen = sz
+					}
+				}
+				if g.LargePageBytes != maxSeen {
+					t.Errorf("%s: MAX page %d != max small %d", s.Name, g.LargePageBytes, maxSeen)
+				}
+				// Tail waste per large page is LargePage − ratio·small.
+				for name, sz := range g.SmallPageBytes {
+					want := g.LargePageBytes - g.Ratio[name]*sz
+					if g.WastePerLargePage[name] != want {
+						t.Errorf("%s/%s: MAX waste %d, want %d",
+							s.Name, name, g.WastePerLargePage[name], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPhysicalLayers(t *testing.T) {
+	g := KVGroup{Layers: 6}
+	if g.Physical() != 6 {
+		t.Error("unset PhysicalLayers must default to Layers")
+	}
+	g.PhysicalLayers = 13
+	if g.Physical() != 13 {
+		t.Error("PhysicalLayers must override")
+	}
+	g.PhysicalLayers = 3 // smaller than Layers: ignore (KV owners can't exceed physical)
+	if g.Physical() != 6 {
+		t.Error("PhysicalLayers below Layers must be ignored")
+	}
+	// character.ai: baseline allocates 80 physical layers.
+	c := CharacterAI70B()
+	total := 0
+	for i := range c.Groups {
+		total += c.Groups[i].Physical()
+	}
+	if total != 80 {
+		t.Errorf("character physical layers = %d, want 80", total)
+	}
+}
+
+func TestCompatPolicyString(t *testing.T) {
+	cases := map[CompatPolicy]string{LCMPage: "lcm", GCDPage: "gcd", MaxPage: "max", CompatPolicy(9): "policy(9)"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+// TestTagValidation: tagged groups pass validation (multi-model specs).
+func TestTaggedSpecValidates(t *testing.T) {
+	s := &Spec{
+		Name: "tagged", Params: 1, WeightBytes: 2,
+		Groups: []KVGroup{
+			{Name: "t:self", Kind: FullAttention, Layers: 1, BytesPerToken: 64, Tag: "target"},
+			{Name: "d:self", Kind: FullAttention, Layers: 1, BytesPerToken: 64, Tag: "draft"},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

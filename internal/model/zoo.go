@@ -1,0 +1,298 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file transcribes the architectures of every model in the paper's
+// evaluation (Table 1 plus the Fig. 18/19 models) into Specs. Layer
+// counts, KV-head geometry and window sizes follow the public configs;
+// KV dtype follows the weight dtype (fp8-quantized variants use fp8 KV,
+// as vLLM does). Jamba's Mamba state size is chosen so the paper's two
+// reported geometry facts hold exactly: MAX-page would need 1344 tokens
+// per attention page, and the per-layer LCM ratio is 84×.
+
+const (
+	fp16 = 2
+	fp8  = 1
+)
+
+// kvBytes returns per-layer per-token KV bytes for an attention layer.
+func kvBytes(kvHeads, headDim, dtype int) int {
+	return 2 * kvHeads * headDim * dtype
+}
+
+// Llama31_8B is the homogeneous baseline model (overhead check, Fig. 13).
+func Llama31_8B() *Spec {
+	return &Spec{
+		Name: "Llama-3.1-8B", Params: 8_030_000_000, WeightBytes: fp16, HiddenSize: 4096,
+		Groups: []KVGroup{
+			{Name: "self", Kind: FullAttention, Layers: 32, BytesPerToken: kvBytes(8, 128, fp16)},
+		},
+	}
+}
+
+// Llama31_70B is the fp8-quantized 70B used on H100 (Table 1 "70B*").
+func Llama31_70B() *Spec {
+	return &Spec{
+		Name: "Llama-3.1-70B-FP8", Params: 70_600_000_000, WeightBytes: fp8, HiddenSize: 8192,
+		Groups: []KVGroup{
+			{Name: "self", Kind: FullAttention, Layers: 80, BytesPerToken: kvBytes(8, 128, fp8)},
+		},
+	}
+}
+
+// Llama32Vision11B is "mllama": 32 self-attention layers over text
+// tokens interleaved with 8 cross-attention layers over image tokens
+// (§3.2's running example; the 79.6% waste model).
+func Llama32Vision11B() *Spec {
+	return &Spec{
+		Name: "Llama-3.2-11B-Vision", Params: 9_800_000_000, WeightBytes: fp16, HiddenSize: 4096,
+		Groups: []KVGroup{
+			{Name: "self", Kind: FullAttention, Layers: 32, BytesPerToken: kvBytes(8, 128, fp16), Scope: ScopeText},
+			{Name: "cross", Kind: CrossAttention, Layers: 8, BytesPerToken: kvBytes(8, 128, fp16), Scope: ScopeImage},
+		},
+		Vision: &VisionSpec{Params: 900_000_000, TokensPerImage: 1601},
+	}
+}
+
+// Gemma2_27B interleaves full and sliding-window (4096) attention.
+func Gemma2_27B() *Spec {
+	return &Spec{
+		Name: "Gemma-2-27B", Params: 27_200_000_000, WeightBytes: fp16, HiddenSize: 4608,
+		Groups: []KVGroup{
+			{Name: "full", Kind: FullAttention, Layers: 23, BytesPerToken: kvBytes(16, 128, fp16)},
+			{Name: "window", Kind: SlidingWindow, Layers: 23, BytesPerToken: kvBytes(16, 128, fp16), Window: 4096},
+		},
+	}
+}
+
+// Gemma2_9B is the L4-sized Gemma-2 variant.
+func Gemma2_9B() *Spec {
+	return &Spec{
+		Name: "Gemma-2-9B", Params: 9_240_000_000, WeightBytes: fp16, HiddenSize: 3584,
+		Groups: []KVGroup{
+			{Name: "full", Kind: FullAttention, Layers: 21, BytesPerToken: kvBytes(8, 256, fp16)},
+			{Name: "window", Kind: SlidingWindow, Layers: 21, BytesPerToken: kvBytes(8, 256, fp16), Window: 4096},
+		},
+	}
+}
+
+// Gemma2_2B is the speculative-decoding draft for Gemma-2 (Fig. 19).
+func Gemma2_2B() *Spec {
+	return &Spec{
+		Name: "Gemma-2-2B", Params: 2_600_000_000, WeightBytes: fp16, HiddenSize: 2304,
+		Groups: []KVGroup{
+			{Name: "full", Kind: FullAttention, Layers: 13, BytesPerToken: kvBytes(4, 256, fp16)},
+			{Name: "window", Kind: SlidingWindow, Layers: 13, BytesPerToken: kvBytes(4, 256, fp16), Window: 4096},
+		},
+	}
+}
+
+// Ministral8B uses a 3:1 interleaved sliding-window pattern with a
+// 32768-token window and 128k context; at max context the PagedAttention
+// waste reaches the paper's 56.25%.
+func Ministral8B() *Spec {
+	return &Spec{
+		Name: "Ministral-8B", Params: 8_020_000_000, WeightBytes: fp16, HiddenSize: 4096,
+		Groups: []KVGroup{
+			{Name: "full", Kind: FullAttention, Layers: 9, BytesPerToken: kvBytes(8, 128, fp16)},
+			{Name: "window", Kind: SlidingWindow, Layers: 27, BytesPerToken: kvBytes(8, 128, fp16), Window: 32768},
+		},
+	}
+}
+
+// MinistralDraft1B is the 1B draft the authors created for Ministral
+// following the Llama 3.2 1B configuration (§7.4).
+func MinistralDraft1B() *Spec {
+	s := Llama32_1B()
+	s.Name = "Ministral-1B-draft"
+	return s
+}
+
+// Jamba52B mixes 4 full-attention layers with 28 Mamba layers (1:7
+// blocks). StateBytes = 1344 × the per-token attention KV so that MAX
+// paging needs 1344 tokens per page (§4.4) and the per-layer LCM ratio
+// is 84× at 16 tokens/page.
+func Jamba52B() *Spec {
+	attn := kvBytes(8, 128, fp16) // 4096
+	return &Spec{
+		Name: "Jamba-1.5-52B", Params: 52_000_000_000, ActiveParams: 12_000_000_000,
+		WeightBytes: fp8, HiddenSize: 8192,
+		Groups: []KVGroup{
+			{Name: "attn", Kind: FullAttention, Layers: 4, BytesPerToken: attn},
+			{Name: "mamba", Kind: Mamba, Layers: 28, StateBytes: 1344 * attn},
+		},
+	}
+}
+
+// CharacterAI70B models the character.ai blog architecture on a Llama
+// 70B base: ~1/6 global-attention layers, the rest sliding window 1024,
+// with cross-layer KV sharing — 80 physical layers share KV owned by
+// 33. A sharing-unaware manager (the PagedAttention baseline) must
+// allocate for all 80.
+func CharacterAI70B() *Spec {
+	return &Spec{
+		Name: "character.ai-70B-FP8", Params: 70_600_000_000, WeightBytes: fp8, HiddenSize: 8192,
+		Groups: []KVGroup{
+			{Name: "global", Kind: FullAttention, Layers: 6, PhysicalLayers: 13, BytesPerToken: kvBytes(8, 128, fp8)},
+			{Name: "window", Kind: SlidingWindow, Layers: 27, PhysicalLayers: 67, BytesPerToken: kvBytes(8, 128, fp8), Window: 1024},
+		},
+	}
+}
+
+// CharacterAI8B is the L4-sized variant.
+func CharacterAI8B() *Spec {
+	return &Spec{
+		Name: "character.ai-8B", Params: 8_030_000_000, WeightBytes: fp16, HiddenSize: 4096,
+		Groups: []KVGroup{
+			{Name: "global", Kind: FullAttention, Layers: 2, PhysicalLayers: 5, BytesPerToken: kvBytes(8, 128, fp16)},
+			{Name: "window", Kind: SlidingWindow, Layers: 11, PhysicalLayers: 27, BytesPerToken: kvBytes(8, 128, fp16), Window: 1024},
+		},
+	}
+}
+
+// PyramidKV70B applies pyramidal per-layer token budgets to Llama 70B:
+// deeper layers keep fewer tokens (§3.1(a.2)). Budgets are grouped into
+// four tiers so the manager sees four layer types.
+func PyramidKV70B() *Spec {
+	kv := kvBytes(8, 128, fp8)
+	return &Spec{
+		Name: "PyramidKV-70B-FP8", Params: 70_600_000_000, WeightBytes: fp8, HiddenSize: 8192,
+		Groups: []KVGroup{
+			{Name: "full", Kind: FullAttention, Layers: 20, BytesPerToken: kv},
+			{Name: "pyr4k", Kind: PyramidWindow, Layers: 20, BytesPerToken: kv, Window: 4096},
+			{Name: "pyr1k", Kind: PyramidWindow, Layers: 20, BytesPerToken: kv, Window: 1024},
+			{Name: "pyr256", Kind: PyramidWindow, Layers: 20, BytesPerToken: kv, Window: 256},
+		},
+	}
+}
+
+// PyramidKV8B is the L4-sized variant.
+func PyramidKV8B() *Spec {
+	kv := kvBytes(8, 128, fp16)
+	return &Spec{
+		Name: "PyramidKV-8B", Params: 8_030_000_000, WeightBytes: fp16, HiddenSize: 4096,
+		Groups: []KVGroup{
+			{Name: "full", Kind: FullAttention, Layers: 8, BytesPerToken: kv},
+			{Name: "pyr2k", Kind: PyramidWindow, Layers: 8, BytesPerToken: kv, Window: 2048},
+			{Name: "pyr512", Kind: PyramidWindow, Layers: 8, BytesPerToken: kv, Window: 512},
+			{Name: "pyr128", Kind: PyramidWindow, Layers: 8, BytesPerToken: kv, Window: 128},
+		},
+	}
+}
+
+// LLaVAOneVision7B is a decoder-only VLM with a vision-embedding cache
+// group (Fig. 18). The embedding per image token (hidden × fp16) is
+// smaller than the LLM KV per token across layers, as §6.2 requires.
+func LLaVAOneVision7B() *Spec {
+	return &Spec{
+		Name: "LLaVA-OneVision-7B", Params: 7_060_000_000, WeightBytes: fp16, HiddenSize: 3584,
+		Groups: []KVGroup{
+			{Name: "self", Kind: FullAttention, Layers: 28, BytesPerToken: kvBytes(4, 128, fp16)},
+			{Name: "vision", Kind: VisionEmbedding, Layers: 1, BytesPerToken: 3584 * fp16, Scope: ScopeImage},
+		},
+		Vision: &VisionSpec{Params: 400_000_000, TokensPerImage: 729},
+	}
+}
+
+// InternVL2_8B pairs InternViT-300M with an 8B LLM.
+func InternVL2_8B() *Spec {
+	return &Spec{
+		Name: "InternVL2-8B", Params: 7_700_000_000, WeightBytes: fp16, HiddenSize: 4096,
+		Groups: []KVGroup{
+			{Name: "self", Kind: FullAttention, Layers: 32, BytesPerToken: kvBytes(8, 128, fp16)},
+			{Name: "vision", Kind: VisionEmbedding, Layers: 1, BytesPerToken: 4096 * fp16, Scope: ScopeImage},
+		},
+		Vision: &VisionSpec{Params: 300_000_000, TokensPerImage: 256},
+	}
+}
+
+// Phi3Vision4B is the smallest Fig. 18 VLM.
+func Phi3Vision4B() *Spec {
+	return &Spec{
+		Name: "Phi-3-Vision-4B", Params: 3_800_000_000, WeightBytes: fp16, HiddenSize: 3072,
+		Groups: []KVGroup{
+			{Name: "self", Kind: FullAttention, Layers: 32, BytesPerToken: kvBytes(8, 96, fp16)},
+			{Name: "vision", Kind: VisionEmbedding, Layers: 1, BytesPerToken: 3072 * fp16, Scope: ScopeImage},
+		},
+		Vision: &VisionSpec{Params: 300_000_000, TokensPerImage: 576},
+	}
+}
+
+// Paligemma2_10B mixes three memory types — vision embeddings, sliding
+// window KV and full-attention KV (§7.1 notes it as the three-type model).
+func Paligemma2_10B() *Spec {
+	kv := kvBytes(8, 256, fp16)
+	return &Spec{
+		Name: "Paligemma2-10B", Params: 9_660_000_000, WeightBytes: fp16, HiddenSize: 3584,
+		Groups: []KVGroup{
+			{Name: "full", Kind: FullAttention, Layers: 21, BytesPerToken: kv},
+			{Name: "window", Kind: SlidingWindow, Layers: 21, BytesPerToken: kv, Window: 4096},
+			{Name: "vision", Kind: VisionEmbedding, Layers: 1, BytesPerToken: 3584 * fp16, Scope: ScopeImage},
+		},
+		Vision: &VisionSpec{Params: 400_000_000, TokensPerImage: 256},
+	}
+}
+
+// Llama32_1B is the draft model for Llama/character speculative decoding.
+func Llama32_1B() *Spec {
+	return &Spec{
+		Name: "Llama-3.2-1B", Params: 1_240_000_000, WeightBytes: fp16, HiddenSize: 2048,
+		Groups: []KVGroup{
+			{Name: "self", Kind: FullAttention, Layers: 16, BytesPerToken: kvBytes(8, 64, fp16)},
+		},
+	}
+}
+
+// Registry maps CLI names to spec constructors.
+var Registry = map[string]func() *Spec{
+	"llama-8b":      Llama31_8B,
+	"llama-70b":     Llama31_70B,
+	"mllama":        Llama32Vision11B,
+	"gemma2-27b":    Gemma2_27B,
+	"gemma2-9b":     Gemma2_9B,
+	"gemma2-2b":     Gemma2_2B,
+	"ministral":     Ministral8B,
+	"ministral-1b":  MinistralDraft1B,
+	"jamba":         Jamba52B,
+	"character-70b": CharacterAI70B,
+	"character-8b":  CharacterAI8B,
+	"pyramidkv-70b": PyramidKV70B,
+	"pyramidkv-8b":  PyramidKV8B,
+	"llava-ov":      LLaVAOneVision7B,
+	"internvl2":     InternVL2_8B,
+	"phi3v":         Phi3Vision4B,
+	"paligemma2":    Paligemma2_10B,
+	"llama-1b":      Llama32_1B,
+}
+
+// ByName returns the registered spec constructor's result, or an error
+// listing available names.
+func ByName(name string) (*Spec, error) {
+	ctor, ok := Registry[name]
+	if !ok {
+		names := make([]string, 0, len(Registry))
+		for n := range Registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("model: unknown model %q (available: %v)", name, names)
+	}
+	return ctor(), nil
+}
+
+// All returns every registered spec, sorted by registry name.
+func All() []*Spec {
+	names := make([]string, 0, len(Registry))
+	for n := range Registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	specs := make([]*Spec, 0, len(names))
+	for _, n := range names {
+		specs = append(specs, Registry[n]())
+	}
+	return specs
+}

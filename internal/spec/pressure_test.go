@@ -1,0 +1,108 @@
+package spec
+
+import (
+	"testing"
+
+	"jenga/internal/baseline"
+	"jenga/internal/workload"
+)
+
+// TestSpecDecodePreemptionUnderPressure: a shared heap too small for
+// the whole batch forces preemptions; everything still completes.
+func TestSpecDecodePreemptionUnderPressure(t *testing.T) {
+	ms, err := baseline.NewJengaShared(miniTarget(), miniDraft(), 700<<10, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{
+		Target: miniTarget(), Draft: miniDraft(), Device: testDevice(),
+		Managers: ms, K: 4, AcceptRate: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGen(31)
+	reqs := g.ShareGPT(8)
+	for i := range reqs {
+		if len(reqs[i].Prompt) > 100 {
+			reqs[i].Prompt = reqs[i].Prompt[:100]
+		}
+		reqs[i].OutputLen = 200 // decode growth forces preemption
+	}
+	workload.AllAtOnce(reqs)
+	res, err := d.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != 8 {
+		t.Fatalf("finished %d of 8 (failed %d)", res.Finished, res.Failed)
+	}
+	if res.Preemptions == 0 {
+		t.Error("expected preemptions under tight shared memory")
+	}
+	if u := ms.Target.Usage(); u.Used != 0 {
+		t.Errorf("leaked memory: %+v", u)
+	}
+}
+
+// TestSpecDecodeImpossibleRequestFails: a prompt no configuration can
+// hold is failed rather than looping.
+func TestSpecDecodeImpossibleRequestFails(t *testing.T) {
+	ms, err := baseline.NewJengaShared(miniTarget(), miniDraft(), 400<<10, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{
+		Target: miniTarget(), Draft: miniDraft(), Device: testDevice(),
+		Managers: ms, K: 4, AcceptRate: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGen(33)
+	reqs := g.ShareGPT(2)
+	reqs[0].Prompt = g.LongDocQA(1)[0].Prompt[:20000] // cannot fit
+	reqs[0].OutputLen = 4
+	if len(reqs[1].Prompt) > 100 {
+		reqs[1].Prompt = reqs[1].Prompt[:100]
+	}
+	reqs[1].OutputLen = 4
+	workload.AllAtOnce(reqs)
+	res, err := d.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Finished != 1 {
+		t.Errorf("finished/failed = %d/%d, want 1/1", res.Finished, res.Failed)
+	}
+}
+
+// TestMeanBatchAndThroughputConsistency: sanity relations between the
+// reported aggregates.
+func TestSpecResultConsistency(t *testing.T) {
+	ms, err := baseline.NewVLLMManual(miniTarget(), miniDraft(), 8<<20, 8, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{
+		Target: miniTarget(), Draft: miniDraft(), Device: testDevice(),
+		Managers: ms, K: 4, AcceptRate: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(reqsFor(34, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanBatch <= 0 || res.MeanBatch > 6 {
+		t.Errorf("mean batch %f out of range", res.MeanBatch)
+	}
+	if res.TokensPerSec <= 0 {
+		t.Error("token throughput must be positive")
+	}
+	// High acceptance should accept more than half the draft tokens.
+	if res.MeanAccepted < 2 {
+		t.Errorf("mean accepted %f too low for 0.9 acceptance", res.MeanAccepted)
+	}
+}

@@ -1,0 +1,399 @@
+// Package spec simulates speculative decoding (§6.1, Fig. 19): a small
+// draft model proposes K tokens sequentially, the target model verifies
+// them in one pass, and accepted tokens commit to both models' KV
+// caches. The two models' memory lives in the managers supplied by
+// internal/baseline — a shared Jenga heap, a vLLM-max uniform pool, or
+// a SmartSpec-style static split — so the experiment varies only
+// memory management.
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"jenga/internal/baseline"
+	"jenga/internal/core"
+	"jenga/internal/gpu"
+	"jenga/internal/model"
+	"jenga/internal/workload"
+)
+
+// Config configures a speculative-decoding run.
+type Config struct {
+	// Target and Draft are the two model architectures.
+	Target, Draft *model.Spec
+	// Device is the simulated GPU (shared by both models).
+	Device gpu.Device
+	// Managers supplies the per-model memory managers (possibly the
+	// same object for shared heaps).
+	Managers baseline.Managers
+	// K is the speculation depth (default 4).
+	K int
+	// AcceptRate is the per-token acceptance probability (default 0.7).
+	AcceptRate float64
+	// MaxRunning caps concurrent requests (default 64).
+	MaxRunning int
+	// MaxSteps bounds the simulation (default 1_000_000).
+	MaxSteps int
+}
+
+// Result aggregates a run's metrics.
+type Result struct {
+	Duration     time.Duration
+	Steps        int
+	Finished     int
+	Failed       int
+	ReqPerSec    float64
+	TokensPerSec float64
+	// MeanAccepted is the average number of draft tokens accepted per
+	// verify pass (excluding the bonus token).
+	MeanAccepted float64
+	// MeanBatch is the average number of requests per iteration.
+	MeanBatch   float64
+	Preemptions int
+}
+
+type specRun struct {
+	req       *workload.Request
+	target    *core.Sequence
+	draft     *core.Sequence
+	prefilled bool
+	generated int
+	iter      int
+	finish    time.Duration
+}
+
+// Driver executes speculative-decoding simulations.
+type Driver struct {
+	cfg        Config
+	targetCost gpu.CostModel
+	draftCost  gpu.CostModel
+	clock      time.Duration
+	step       int
+
+	waiting  []*specRun
+	running  []*specRun
+	finished []*specRun
+	failed   []*specRun
+
+	acceptedSum int64
+	verifies    int64
+	batchSum    int64
+	iters       int64
+	generated   int64
+	preempts    int
+}
+
+// New validates the config and builds a driver.
+func New(cfg Config) (*Driver, error) {
+	if cfg.Target == nil || cfg.Draft == nil {
+		return nil, fmt.Errorf("spec: target and draft specs required")
+	}
+	if cfg.Managers.Target == nil || cfg.Managers.Draft == nil {
+		return nil, fmt.Errorf("spec: managers required")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 4
+	}
+	if cfg.AcceptRate <= 0 || cfg.AcceptRate > 1 {
+		cfg.AcceptRate = 0.7
+	}
+	if cfg.MaxRunning <= 0 {
+		cfg.MaxRunning = 64
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 1_000_000
+	}
+	if cfg.Device.Name == "" {
+		cfg.Device = gpu.H100()
+	}
+	return &Driver{
+		cfg:        cfg,
+		targetCost: gpu.CostModel{Dev: cfg.Device, Spec: cfg.Target},
+		draftCost:  gpu.CostModel{Dev: cfg.Device, Spec: cfg.Draft},
+	}, nil
+}
+
+// Run simulates the request set to completion.
+func (d *Driver) Run(reqs []workload.Request) (*Result, error) {
+	for i := range reqs {
+		r := &reqs[i]
+		if r.OutputLen < 1 {
+			return nil, fmt.Errorf("spec: request %d has output length %d", r.ID, r.OutputLen)
+		}
+		d.waiting = append(d.waiting, &specRun{
+			req:    r,
+			target: &core.Sequence{ID: core.RequestID(r.ID), Tag: baseline.TagTarget, PromptLen: len(r.Prompt), Tokens: append([]core.Token{}, r.Prompt...)},
+			draft:  &core.Sequence{ID: core.RequestID(r.ID) + 1_000_000_000, Tag: baseline.TagDraft, PromptLen: len(r.Prompt), Tokens: append([]core.Token{}, r.Prompt...)},
+		})
+	}
+	sort.SliceStable(d.waiting, func(i, j int) bool {
+		return d.waiting[i].req.Arrival < d.waiting[j].req.Arrival
+	})
+
+	total := len(d.waiting)
+	stalls := 0
+	for len(d.finished)+len(d.failed) < total {
+		d.step++
+		if d.step > d.cfg.MaxSteps {
+			return nil, fmt.Errorf("spec: exceeded %d steps", d.cfg.MaxSteps)
+		}
+		progressed := d.runStep()
+		if progressed {
+			stalls = 0
+			continue
+		}
+		stalls++
+		if stalls > 3 {
+			// The head request cannot fit even on an idle engine.
+			if len(d.running) > 0 {
+				d.fail(d.running[0])
+			} else if len(d.waiting) > 0 {
+				r := d.waiting[0]
+				d.waiting = d.waiting[1:]
+				d.release(r, false)
+				d.failed = append(d.failed, r)
+			} else {
+				return nil, fmt.Errorf("spec: stuck with nothing to fail")
+			}
+			stalls = 0
+		}
+	}
+	return d.result(), nil
+}
+
+// runStep performs one iteration: admissions (prefill both models) and
+// one propose-verify round for the running batch.
+func (d *Driver) runStep() bool {
+	now := core.Tick(d.step)
+	progressed := false
+
+	// Admission: prefill prompt into both models.
+	for len(d.waiting) > 0 && len(d.running) < d.cfg.MaxRunning {
+		r := d.waiting[0]
+		if !d.prefill(r, now) {
+			break
+		}
+		d.waiting = d.waiting[1:]
+		d.running = append(d.running, r)
+		progressed = true
+	}
+
+	if len(d.running) == 0 {
+		return progressed
+	}
+
+	// One propose-verify iteration over the whole batch.
+	batch := 0
+	var draftTokens, verifyTokens int
+	var kvRead int64
+	for _, r := range append([]*specRun(nil), d.running...) {
+		if !d.contains(r) {
+			continue
+		}
+		accepted := d.acceptance(r)
+		gain := accepted + 1 // bonus token from the verify pass
+		if r.generated+gain > r.req.OutputLen {
+			gain = r.req.OutputLen - r.generated
+		}
+		if !d.extend(r, gain, now) {
+			continue
+		}
+		r.generated += gain
+		r.iter++
+		d.generated += int64(gain)
+		d.acceptedSum += int64(accepted)
+		d.verifies++
+		batch++
+		draftTokens += d.cfg.K
+		verifyTokens += d.cfg.K + 1
+		kvRead += gpu.DecodeKVReadBytes(d.cfg.Target, ctxAll(d.cfg.Target, len(r.target.Tokens)))
+		if r.generated >= r.req.OutputLen {
+			r.finish = d.clock
+			d.release(r, true)
+			d.remove(r)
+			d.finished = append(d.finished, r)
+		}
+	}
+	if batch > 0 {
+		// K sequential draft passes plus one target verify pass.
+		var t time.Duration
+		for k := 0; k < d.cfg.K; k++ {
+			t += d.draftCost.StepTime(gpu.StepWork{DecodeSeqs: batch})
+		}
+		t += d.targetCost.StepTime(gpu.StepWork{
+			PrefillTokens: verifyTokens, KVReadBytes: kvRead,
+		})
+		d.clock += t
+		d.batchSum += int64(batch)
+		d.iters++
+		progressed = true
+	}
+	return progressed
+}
+
+// ctxAll maps every group of a (text-only) spec to the same projected
+// context length.
+func ctxAll(spec *model.Spec, n int) map[string]int {
+	m := make(map[string]int, len(spec.Groups))
+	for i := range spec.Groups {
+		m[spec.Groups[i].Name] = n
+	}
+	return m
+}
+
+// prefill reserves and commits the prompt in both models.
+func (d *Driver) prefill(r *specRun, now core.Tick) bool {
+	n := len(r.req.Prompt)
+	if err := d.cfg.Managers.Target.Reserve(r.target, n, now); err != nil {
+		if errors.Is(err, core.ErrNoSpace) {
+			d.release(r, false)
+			return false
+		}
+		panic(err)
+	}
+	if err := d.cfg.Managers.Draft.Reserve(r.draft, n, now); err != nil {
+		if errors.Is(err, core.ErrNoSpace) {
+			d.release(r, false)
+			return false
+		}
+		panic(err)
+	}
+	d.cfg.Managers.Target.Commit(r.target, n, now)
+	d.cfg.Managers.Draft.Commit(r.draft, n, now)
+	d.clock += d.targetCost.StepTime(gpu.StepWork{PrefillTokens: n})
+	d.clock += d.draftCost.StepTime(gpu.StepWork{PrefillTokens: n})
+	r.prefilled = true
+	return true
+}
+
+// extend appends gain accepted tokens to both sequences, preempting the
+// newest running request on memory pressure.
+func (d *Driver) extend(r *specRun, gain int, now core.Tick) bool {
+	for g := 0; g < gain; g++ {
+		tok := d.genToken(r, len(r.target.Tokens))
+		r.target.Tokens = append(r.target.Tokens, tok)
+		r.draft.Tokens = append(r.draft.Tokens, tok)
+	}
+	n := len(r.target.Tokens)
+	for {
+		errT := d.cfg.Managers.Target.Reserve(r.target, n, now)
+		var errD error
+		if errT == nil {
+			errD = d.cfg.Managers.Draft.Reserve(r.draft, n, now)
+		}
+		if errT == nil && errD == nil {
+			d.cfg.Managers.Target.Commit(r.target, n, now)
+			d.cfg.Managers.Draft.Commit(r.draft, n, now)
+			return true
+		}
+		victim := d.victim(r)
+		if victim == nil {
+			// Roll back the speculative append.
+			r.target.Tokens = r.target.Tokens[:n-gain]
+			r.draft.Tokens = r.draft.Tokens[:n-gain]
+			return false
+		}
+		d.preempt(victim)
+	}
+}
+
+// victim returns the latest-arrived running request other than r.
+func (d *Driver) victim(r *specRun) *specRun {
+	var v *specRun
+	for _, c := range d.running {
+		if c == r {
+			continue
+		}
+		if v == nil || c.req.Arrival > v.req.Arrival {
+			v = c
+		}
+	}
+	return v
+}
+
+// preempt releases a request entirely and requeues it for recompute.
+func (d *Driver) preempt(v *specRun) {
+	d.release(v, true)
+	// Recompute restarts from the prompt plus already-accepted tokens.
+	v.prefilled = false
+	d.preempts++
+	d.remove(v)
+	d.waiting = append([]*specRun{v}, d.waiting...)
+}
+
+func (d *Driver) fail(r *specRun) {
+	d.release(r, false)
+	d.remove(r)
+	d.failed = append(d.failed, r)
+}
+
+func (d *Driver) release(r *specRun, cache bool) {
+	d.cfg.Managers.Target.Release(r.target, cache)
+	d.cfg.Managers.Draft.Release(r.draft, cache)
+}
+
+func (d *Driver) remove(r *specRun) {
+	for i, c := range d.running {
+		if c == r {
+			d.running = append(d.running[:i], d.running[i+1:]...)
+			return
+		}
+	}
+}
+
+func (d *Driver) contains(r *specRun) bool {
+	for _, c := range d.running {
+		if c == r {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptance returns the deterministic number of draft tokens accepted
+// this iteration: leading Bernoulli(AcceptRate) successes among K.
+func (d *Driver) acceptance(r *specRun) int {
+	acc := 0
+	for k := 0; k < d.cfg.K; k++ {
+		x := uint64(r.req.ID)*0x9E3779B97F4A7C15 ^ uint64(r.iter)*0xBF58476D1CE4E5B9 ^ uint64(k)*0x94D049BB133111EB
+		x ^= x >> 31
+		x *= 0xD6E8FEB86659FD93
+		x ^= x >> 29
+		if float64(x%1_000_000)/1_000_000 < d.cfg.AcceptRate {
+			acc++
+		} else {
+			break
+		}
+	}
+	return acc
+}
+
+func (d *Driver) genToken(r *specRun, pos int) core.Token {
+	x := uint64(r.req.ID)*0x2545F4914F6CDD1D + uint64(pos)
+	x ^= x >> 29
+	return core.Token{ID: int32(x%50000 + 1)}
+}
+
+func (d *Driver) result() *Result {
+	res := &Result{
+		Duration:    d.clock,
+		Steps:       d.step,
+		Finished:    len(d.finished),
+		Failed:      len(d.failed),
+		Preemptions: d.preempts,
+	}
+	if d.clock > 0 {
+		res.ReqPerSec = float64(len(d.finished)) / d.clock.Seconds()
+		res.TokensPerSec = float64(d.generated) / d.clock.Seconds()
+	}
+	if d.verifies > 0 {
+		res.MeanAccepted = float64(d.acceptedSum) / float64(d.verifies)
+	}
+	if d.iters > 0 {
+		res.MeanBatch = float64(d.batchSum) / float64(d.iters)
+	}
+	return res
+}

@@ -1,0 +1,159 @@
+package spec
+
+import (
+	"testing"
+	"time"
+
+	"jenga/internal/baseline"
+	"jenga/internal/gpu"
+	"jenga/internal/model"
+	"jenga/internal/workload"
+)
+
+func miniTarget() *model.Spec {
+	return &model.Spec{
+		Name: "mini-target", Params: 400_000_000, WeightBytes: 2, HiddenSize: 512,
+		Groups: []model.KVGroup{
+			{Name: "self", Kind: model.FullAttention, Layers: 8, BytesPerToken: 256},
+		},
+	}
+}
+
+func miniDraft() *model.Spec {
+	return &model.Spec{
+		Name: "mini-draft", Params: 40_000_000, WeightBytes: 2, HiddenSize: 128,
+		Groups: []model.KVGroup{
+			{Name: "self", Kind: model.FullAttention, Layers: 2, BytesPerToken: 64},
+		},
+	}
+}
+
+func testDevice() gpu.Device {
+	return gpu.Device{Name: "t", MemBytes: 1 << 30, FLOPS: 50e12, MemBW: 500e9,
+		StepOverhead: time.Millisecond}
+}
+
+func reqsFor(seed int64, n int) []workload.Request {
+	g := workload.NewGen(seed)
+	reqs := g.ShareGPT(n)
+	for i := range reqs {
+		if len(reqs[i].Prompt) > 200 {
+			reqs[i].Prompt = reqs[i].Prompt[:200]
+		}
+		reqs[i].OutputLen = 40
+	}
+	workload.AllAtOnce(reqs)
+	return reqs
+}
+
+func runWith(t *testing.T, ms baseline.Managers, n int) *Result {
+	t.Helper()
+	d, err := New(Config{
+		Target: miniTarget(), Draft: miniDraft(), Device: testDevice(),
+		Managers: ms, K: 4, AcceptRate: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(reqsFor(11, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSpecDecodeJengaShared(t *testing.T) {
+	ms, err := baseline.NewJengaShared(miniTarget(), miniDraft(), 8<<20, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWith(t, ms, 8)
+	if res.Finished != 8 || res.Failed != 0 {
+		t.Fatalf("finished %d failed %d", res.Finished, res.Failed)
+	}
+	if res.MeanAccepted <= 0 || res.MeanAccepted > 4 {
+		t.Errorf("mean accepted = %.2f, want (0,4]", res.MeanAccepted)
+	}
+	if res.ReqPerSec <= 0 {
+		t.Error("throughput must be positive")
+	}
+	// Memory drains at the end.
+	if u := ms.Target.Usage(); u.Used != 0 {
+		t.Errorf("leaked memory: %+v", u)
+	}
+}
+
+// TestSharedBeatsMaxUnderPressure: with tight memory, Jenga's shared
+// heap batches more requests than vLLM-max (draft tokens in
+// target-sized pages) — the Fig. 19 mechanism.
+func TestSharedBeatsMaxUnderPressure(t *testing.T) {
+	capacity := int64(1 << 20)
+	shared, err := baseline.NewJengaShared(miniTarget(), miniDraft(), capacity, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmax, err := baseline.NewVLLMMax(miniTarget(), miniDraft(), capacity, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := runWith(t, shared, 10)
+	vm := runWith(t, vmax, 10)
+	if js.Finished != 10 || vm.Finished != 10 {
+		t.Fatalf("finished: jenga %d vmax %d", js.Finished, vm.Finished)
+	}
+	if js.ReqPerSec < vm.ReqPerSec {
+		t.Errorf("shared heap %.3f req/s should be at least vLLM-max %.3f",
+			js.ReqPerSec, vm.ReqPerSec)
+	}
+}
+
+func TestManualSplitRuns(t *testing.T) {
+	ms, err := baseline.NewVLLMManual(miniTarget(), miniDraft(), 4<<20, 8, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWith(t, ms, 6)
+	if res.Finished != 6 {
+		t.Fatalf("finished %d of 6 (failed %d)", res.Finished, res.Failed)
+	}
+}
+
+func TestAcceptanceDeterministicAndBounded(t *testing.T) {
+	ms, err := baseline.NewJengaShared(miniTarget(), miniDraft(), 1<<20, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{Target: miniTarget(), Draft: miniDraft(), Device: testDevice(),
+		Managers: ms, K: 4, AcceptRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &specRun{req: &workload.Request{ID: 3}}
+	a1 := d.acceptance(r)
+	a2 := d.acceptance(r)
+	if a1 != a2 {
+		t.Error("acceptance must be deterministic per (request, iteration)")
+	}
+	if a1 < 0 || a1 > 4 {
+		t.Errorf("acceptance %d out of range", a1)
+	}
+	var sum int
+	for i := 0; i < 200; i++ {
+		r2 := &specRun{req: &workload.Request{ID: int64(i)}, iter: i}
+		sum += d.acceptance(r2)
+	}
+	mean := float64(sum) / 200
+	// E[leading successes of Bernoulli(0.5), capped at 4] ≈ 0.9375.
+	if mean < 0.6 || mean > 1.3 {
+		t.Errorf("mean acceptance %.2f, want ≈ 0.94", mean)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing specs should error")
+	}
+	if _, err := New(Config{Target: miniTarget(), Draft: miniDraft()}); err == nil {
+		t.Error("missing managers should error")
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.AddRow("alpha", 1.23456)
+	tbl.AddRow("b", 42)
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## demo", "name", "value", "alpha", "1.235", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d", len(lines))
+	}
+	// Columns align: header and rows share the first column width.
+	if !strings.HasPrefix(lines[3], "alpha ") {
+		t.Errorf("row not aligned: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow("x", float32(2.5))
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "a,b\nx,2.500\n" {
+		t.Errorf("csv = %q", got)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteSeriesCSV(&sb,
+		Series{Name: "s1", Points: []float64{1, 2, 3}},
+		Series{Name: "s2", Points: []float64{9}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "idx,s1,s2" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "1,2.0000,") || !strings.HasSuffix(lines[2], ",") {
+		t.Errorf("short series should pad: %q", lines[2])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty series should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	if len([]rune(s)) != 8 {
+		t.Errorf("expected 8 runes, got %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("extremes wrong: %q", s)
+	}
+	// Downsampled to width.
+	wide := make([]float64, 100)
+	for i := range wide {
+		wide[i] = float64(i)
+	}
+	if got := len([]rune(Sparkline(wide, 20))); got != 20 {
+		t.Errorf("downsampled width = %d, want 20", got)
+	}
+	// Constant series: all minimum blocks, no panic.
+	flat := Sparkline([]float64{5, 5, 5}, 10)
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should be all low blocks: %q", flat)
+		}
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	tbl := NewTable("My Table §1", "a", "b")
+	tbl.AddRow(1, 2)
+	if err := tbl.SaveCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "my-table-1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Errorf("csv content = %q", string(data))
+	}
+	// A title with no legal runes falls back to "table".
+	empty := NewTable("§§", "x")
+	if err := empty.SaveCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table.csv")); err != nil {
+		t.Error("fallback slug missing")
+	}
+}

@@ -1,0 +1,253 @@
+// Package workload generates the synthetic datasets and arrival
+// processes of the paper's evaluation (§7.1). Generators match each
+// dataset's published token-length statistics; token contents are
+// deterministic functions of a seed so prefix-sharing structure (same
+// article → same tokens) is exact and runs are reproducible.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"jenga/internal/core"
+)
+
+// Request is one serving request: a prompt plus a target output length.
+type Request struct {
+	// ID is unique within a run.
+	ID int64
+	// Arrival is the simulated arrival time.
+	Arrival time.Duration
+	// Prompt is the input token sequence (text and image tokens).
+	Prompt []core.Token
+	// OutputLen is the number of tokens to generate (the engine runs
+	// with the paper's --ignore-eos semantics: exactly this many).
+	OutputLen int
+}
+
+// PromptImages counts image tokens in the prompt.
+func (r *Request) PromptImages() int {
+	n := 0
+	for _, t := range r.Prompt {
+		if t.Image {
+			n++
+		}
+	}
+	return n
+}
+
+// Gen is a deterministic request generator.
+type Gen struct {
+	rng  *rand.Rand
+	next int64
+}
+
+// NewGen creates a generator with the given seed.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Gen) id() int64 {
+	g.next++
+	return g.next
+}
+
+// textTokens derives deterministic token IDs from a content seed, so
+// two prompts built from the same (seed, offset) share content.
+func textTokens(seed int64, offset, n int) []core.Token {
+	toks := make([]core.Token, n)
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 0x1234567
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		toks[i] = core.Token{ID: int32((x+uint64(offset+i))%50000 + 1)}
+	}
+	return toks
+}
+
+// imageTokens builds one image's tokens with content derived from seed.
+func imageTokens(seed int64, n int) []core.Token {
+	toks := textTokens(seed, 1<<20, n)
+	for i := range toks {
+		toks[i].Image = true
+	}
+	return toks
+}
+
+// clampedNormal samples a normal distribution clipped to [lo, hi].
+func (g *Gen) clampedNormal(mean, stddev float64, lo, hi int) int {
+	v := int(math.Round(g.rng.NormFloat64()*stddev + mean))
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// uniform samples an integer in [lo, hi].
+func (g *Gen) uniform(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// MMLUPro generates text-only exam questions: a shared few-shot
+// instruction prefix (subject-wise) followed by a unique question. The
+// dataset's maximum length is 3076 tokens (§7.1).
+func (g *Gen) MMLUPro(n int, sharedPrefix int) []Request {
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		subject := g.rng.Intn(4)
+		qLen := g.clampedNormal(800, 400, 128, 3076-sharedPrefix)
+		prompt := append([]core.Token{}, textTokens(int64(1000+subject), 0, sharedPrefix)...)
+		prompt = append(prompt, textTokens(int64(g.id())*7919, 0, qLen)...)
+		reqs = append(reqs, Request{
+			ID: g.id(), Prompt: prompt,
+			// MMLU-pro is chain-of-thought: answers are long.
+			OutputLen: g.uniform(256, 768),
+		})
+	}
+	return reqs
+}
+
+// MMMUPro generates multi-modal questions matching the §3.2 statistics:
+// 6193 image tokens and 43 text tokens per request on average.
+func (g *Gen) MMMUPro(n int, tokensPerImage int) []Request {
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		images := 1
+		if tokensPerImage < 6193 {
+			images = int(math.Round(6193.0/float64(tokensPerImage))) + g.rng.Intn(3) - 1
+			if images < 1 {
+				images = 1
+			}
+		}
+		var prompt []core.Token
+		for im := 0; im < images; im++ {
+			prompt = append(prompt, imageTokens(int64(g.id())*104729+int64(im), tokensPerImage)...)
+		}
+		txt := g.clampedNormal(43, 15, 8, 120)
+		prompt = append(prompt, textTokens(int64(g.id())*31, 0, txt)...)
+		reqs = append(reqs, Request{
+			ID: g.id(), Prompt: prompt,
+			// MMMU-pro answers include chain-of-thought reasoning.
+			OutputLen: g.uniform(128, 384),
+		})
+	}
+	return reqs
+}
+
+// Article is a long document in the arXiv-QA pool.
+type Article struct {
+	Seed   int64
+	Tokens []core.Token
+}
+
+// Articles builds a pool of long documents (arXiv-QA substrate).
+func (g *Gen) Articles(count, meanLen int) []Article {
+	arts := make([]Article, count)
+	for i := range arts {
+		n := g.clampedNormal(float64(meanLen), float64(meanLen)/4, meanLen/4, meanLen*2)
+		seed := int64(i+1) * 6700417
+		arts[i] = Article{Seed: seed, Tokens: textTokens(seed, 0, n)}
+	}
+	return arts
+}
+
+// ArxivQA asks questions about articles from a pool: each request is
+// one article followed by a fresh question — the Fig. 17 prefix-caching
+// workload, and with a large meanLen the Ministral long-context
+// workload (average length 92408, §7.2).
+func (g *Gen) ArxivQA(arts []Article, n int, questionLen int) []Request {
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		a := arts[g.rng.Intn(len(arts))]
+		prompt := append([]core.Token{}, a.Tokens...)
+		prompt = append(prompt, textTokens(int64(g.id())*131071, 0, questionLen)...)
+		reqs = append(reqs, Request{
+			ID: g.id(), Prompt: prompt,
+			OutputLen: g.uniform(100, 300),
+		})
+	}
+	return reqs
+}
+
+// LongDocQA is the Fig. 15 workload: n requests arriving at once with
+// inputs uniform in [55k, 110k] tokens and outputs in [50, 100].
+func (g *Gen) LongDocQA(n int) []Request {
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, Request{
+			ID:        g.id(),
+			Prompt:    textTokens(int64(g.id())*2147483647, 0, g.uniform(55_000, 110_000)),
+			OutputLen: g.uniform(50, 100),
+		})
+	}
+	return reqs
+}
+
+// ShareGPT generates conversational prompts with the dataset's ~1085
+// average length (§4.4).
+func (g *Gen) ShareGPT(n int) []Request {
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, Request{
+			ID:        g.id(),
+			Prompt:    textTokens(int64(g.id())*524287, 0, g.clampedNormal(1085, 600, 32, 8192)),
+			OutputLen: g.uniform(64, 512),
+		})
+	}
+	return reqs
+}
+
+// DriftLengths rescales request lengths so the mean input length drifts
+// linearly from loFactor to hiFactor across the slice — the Fig. 16
+// "dynamic" trace where workload composition changes over time.
+func (g *Gen) DriftLengths(reqs []Request, loFactor, hiFactor float64) {
+	n := len(reqs)
+	for i := range reqs {
+		f := loFactor + (hiFactor-loFactor)*float64(i)/float64(max(n-1, 1))
+		keep := int(float64(len(reqs[i].Prompt)) * f)
+		if keep < 16 {
+			keep = 16
+		}
+		if keep < len(reqs[i].Prompt) {
+			reqs[i].Prompt = reqs[i].Prompt[:keep]
+		}
+	}
+}
+
+// PoissonArrivals assigns arrival times with exponential gaps at the
+// given rate (requests/second).
+func (g *Gen) PoissonArrivals(reqs []Request, ratePerSec float64) {
+	t := 0.0
+	for i := range reqs {
+		gap := g.rng.ExpFloat64() / ratePerSec
+		t += gap
+		reqs[i].Arrival = time.Duration(t * float64(time.Second))
+	}
+}
+
+// AllAtOnce zeroes every arrival time (offline batch workloads).
+func AllAtOnce(reqs []Request) {
+	for i := range reqs {
+		reqs[i].Arrival = 0
+	}
+}
+
+// MeanPromptLen returns the average prompt length of a batch.
+func MeanPromptLen(reqs []Request) float64 {
+	if len(reqs) == 0 {
+		return 0
+	}
+	var s int64
+	for i := range reqs {
+		s += int64(len(reqs[i].Prompt))
+	}
+	return float64(s) / float64(len(reqs))
+}

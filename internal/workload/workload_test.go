@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewGen(7).MMLUPro(20, 512)
+	b := NewGen(7).MMLUPro(20, 512)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if len(a[i].Prompt) != len(b[i].Prompt) || a[i].OutputLen != b[i].OutputLen {
+			t.Fatalf("request %d differs across identical seeds", i)
+		}
+		for j := range a[i].Prompt {
+			if a[i].Prompt[j] != b[i].Prompt[j] {
+				t.Fatalf("token %d of request %d differs", j, i)
+			}
+		}
+	}
+}
+
+func TestMMLUProSharedPrefix(t *testing.T) {
+	reqs := NewGen(1).MMLUPro(40, 256)
+	// Requests of the same subject share the first 256 tokens.
+	shared := 0
+	for i := 1; i < len(reqs); i++ {
+		same := true
+		for j := 0; j < 256; j++ {
+			if reqs[i].Prompt[j] != reqs[0].Prompt[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("expected some requests to share the subject prefix")
+	}
+	for _, r := range reqs {
+		if len(r.Prompt) > 3076 {
+			t.Errorf("MMLU-pro prompt %d exceeds max 3076", len(r.Prompt))
+		}
+		if r.PromptImages() != 0 {
+			t.Error("MMLU-pro is text-only")
+		}
+	}
+}
+
+func TestMMMUProStatistics(t *testing.T) {
+	reqs := NewGen(2).MMMUPro(50, 1601)
+	var img, txt int64
+	for _, r := range reqs {
+		i := r.PromptImages()
+		img += int64(i)
+		txt += int64(len(r.Prompt) - i)
+	}
+	meanImg := float64(img) / 50
+	meanTxt := float64(txt) / 50
+	// §3.2: 6193 image and 43 text tokens per request on average.
+	if meanImg < 4500 || meanImg > 8000 {
+		t.Errorf("mean image tokens = %.0f, want ≈ 6193", meanImg)
+	}
+	if meanTxt < 25 || meanTxt > 70 {
+		t.Errorf("mean text tokens = %.0f, want ≈ 43", meanTxt)
+	}
+}
+
+func TestArxivQASharing(t *testing.T) {
+	g := NewGen(3)
+	arts := g.Articles(3, 2000)
+	reqs := g.ArxivQA(arts, 30, 128)
+	// Two requests over the same article share its full token prefix.
+	found := false
+outer:
+	for i := range reqs {
+		for j := i + 1; j < len(reqs); j++ {
+			if len(reqs[i].Prompt) >= 64 && len(reqs[j].Prompt) >= 64 {
+				same := true
+				for k := 0; k < 64; k++ {
+					if reqs[i].Prompt[k] != reqs[j].Prompt[k] {
+						same = false
+						break
+					}
+				}
+				if same {
+					found = true
+					break outer
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no article sharing across 30 requests over 3 articles")
+	}
+}
+
+func TestLongDocQARange(t *testing.T) {
+	reqs := NewGen(4).LongDocQA(20)
+	for _, r := range reqs {
+		if len(r.Prompt) < 55_000 || len(r.Prompt) > 110_000 {
+			t.Errorf("input %d outside [55k, 110k]", len(r.Prompt))
+		}
+		if r.OutputLen < 50 || r.OutputLen > 100 {
+			t.Errorf("output %d outside [50, 100]", r.OutputLen)
+		}
+	}
+}
+
+func TestPoissonArrivalsMonotone(t *testing.T) {
+	g := NewGen(5)
+	reqs := g.ShareGPT(100)
+	g.PoissonArrivals(reqs, 2.0)
+	var prev time.Duration = -1
+	for _, r := range reqs {
+		if r.Arrival <= prev {
+			t.Fatal("arrivals must be strictly increasing")
+		}
+		prev = r.Arrival
+	}
+	// Mean gap ≈ 0.5 s → 100 requests ≈ 50 s total.
+	if total := reqs[99].Arrival.Seconds(); total < 25 || total > 100 {
+		t.Errorf("total arrival span = %.1fs, want ≈ 50s", total)
+	}
+	AllAtOnce(reqs)
+	for _, r := range reqs {
+		if r.Arrival != 0 {
+			t.Fatal("AllAtOnce must zero arrivals")
+		}
+	}
+}
+
+func TestDriftLengths(t *testing.T) {
+	g := NewGen(6)
+	reqs := g.ShareGPT(50)
+	before := MeanPromptLen(reqs)
+	g.DriftLengths(reqs, 0.3, 1.0)
+	after := MeanPromptLen(reqs)
+	if after >= before {
+		t.Error("drift with factors < 1 must shrink the mean")
+	}
+	early := MeanPromptLen(reqs[:10])
+	late := MeanPromptLen(reqs[40:])
+	if early >= late {
+		t.Error("early requests should be shorter than late ones")
+	}
+}
+
+func TestShareGPTMean(t *testing.T) {
+	reqs := NewGen(8).ShareGPT(300)
+	mean := MeanPromptLen(reqs)
+	if mean < 800 || mean > 1400 {
+		t.Errorf("ShareGPT mean = %.0f, want ≈ 1085", mean)
+	}
+	if MeanPromptLen(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+}

@@ -1,0 +1,259 @@
+// Package jenga is a Go reproduction of "Jenga: Effective Memory
+// Management for Serving LLM with Heterogeneity" (SOSP 2025): a
+// two-level KV-cache allocator for heterogeneous LLMs — different
+// embedding sizes per layer type, and different token-dependency
+// patterns (full attention, sliding window, Mamba state, cross
+// attention, vision embeddings) — with customizable prefix caching.
+//
+// The package re-exports the library's public surface:
+//
+//   - NewManager builds Jenga's two-level LCM allocator for a model
+//     described by a Spec (see Models for the paper's evaluation zoo).
+//   - NewPagedBaseline builds the vLLM-style PagedAttention manager the
+//     paper compares against; both implement Manager.
+//   - NewEngine runs a continuous-batching serving simulation over any
+//     Manager, on a simulated Device, with workloads from NewWorkloadGen.
+//   - NewSpeculative drives two-model speculative decoding over shared
+//     or split heaps.
+//
+// Quick start:
+//
+//	spec := jenga.Models.Gemma2_27B()
+//	budget, _ := jenga.KVBudget(spec, jenga.H100(), 0)
+//	mgr, _ := jenga.NewManager(jenga.ManagerConfig{
+//		Spec: spec, CapacityBytes: budget, EnablePrefixCache: true,
+//	})
+//	eng, _ := jenga.NewEngine(jenga.EngineConfig{
+//		Spec: spec, Device: jenga.H100(), Manager: mgr,
+//	})
+//	gen := jenga.NewWorkloadGen(42)
+//	res, _ := eng.Run(gen.ShareGPT(64))
+//	fmt.Printf("%.2f req/s\n", res.ReqPerSec)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package jenga
+
+import (
+	"jenga/internal/baseline"
+	"jenga/internal/core"
+	"jenga/internal/engine"
+	"jenga/internal/gpu"
+	"jenga/internal/model"
+	"jenga/internal/spec"
+	"jenga/internal/workload"
+)
+
+// Model description surface.
+type (
+	// Spec describes a model architecture as KV groups.
+	Spec = model.Spec
+	// KVGroup is one layer type (kind, layers, bytes per token, ...).
+	KVGroup = model.KVGroup
+	// Kind is a token-dependency pattern (full, window, mamba, ...).
+	Kind = model.Kind
+	// TokenScope restricts a group to text or image tokens.
+	TokenScope = model.TokenScope
+	// VisionSpec describes a multi-modal model's encoder.
+	VisionSpec = model.VisionSpec
+	// PageGeometry is the compatibility-layer sizing result.
+	PageGeometry = model.PageGeometry
+	// CompatPolicy selects LCM, GCD or MAX page sizing (§4.4).
+	CompatPolicy = model.CompatPolicy
+)
+
+// Re-exported Kind values.
+const (
+	FullAttention   = model.FullAttention
+	SlidingWindow   = model.SlidingWindow
+	Mamba           = model.Mamba
+	CrossAttention  = model.CrossAttention
+	VisionEmbedding = model.VisionEmbedding
+	PyramidWindow   = model.PyramidWindow
+
+	ScopeAll   = model.ScopeAll
+	ScopeText  = model.ScopeText
+	ScopeImage = model.ScopeImage
+
+	LCMPage = model.LCMPage
+	GCDPage = model.GCDPage
+	MaxPage = model.MaxPage
+)
+
+// Memory-manager surface.
+type (
+	// Manager is the KV memory-management contract (Jenga and the
+	// PagedAttention baseline both implement it).
+	Manager = core.Manager
+	// ManagerConfig configures NewManager.
+	ManagerConfig = core.Config
+	// JengaManager is the paper's two-level manager (extra methods:
+	// Stats, Geometry, GroupView, Diagnose).
+	JengaManager = core.Jenga
+	// Sequence is the manager-facing view of one request.
+	Sequence = core.Sequence
+	// Token is one sequence element.
+	Token = core.Token
+	// RequestID identifies a sequence.
+	RequestID = core.RequestID
+	// Tick is simulated time for LRU ordering.
+	Tick = core.Tick
+	// Usage is a memory accounting snapshot.
+	Usage = core.Usage
+	// GroupUsage is the per-layer-type slice of Usage.
+	GroupUsage = core.GroupUsage
+	// AllocStats counts allocator events.
+	AllocStats = core.Stats
+	// Policy customizes per-layer-type prefix caching (Fig. 9).
+	Policy = core.Policy
+	// KeepAlive is the optional Policy extension for always-live head
+	// regions (attention sinks).
+	KeepAlive = core.KeepAlive
+	// GroupSeqView is the read-only view policies evaluate hits on.
+	GroupSeqView = core.GroupSeqView
+	// OffloadHint is one page an offloading tier should spill (§8).
+	OffloadHint = core.OffloadHint
+	// BaselineConfig configures NewPagedBaseline.
+	BaselineConfig = baseline.Config
+	// PagedBaseline is the vLLM-style homogeneous manager.
+	PagedBaseline = baseline.Paged
+	// SpecManagers bundles per-model managers for speculative decoding.
+	SpecManagers = baseline.Managers
+)
+
+// ErrNoSpace is returned when KV memory cannot be found even after
+// eviction.
+var ErrNoSpace = core.ErrNoSpace
+
+// NewManager builds Jenga's two-level LCM manager (§4, §5).
+func NewManager(cfg ManagerConfig) (*JengaManager, error) { return core.New(cfg) }
+
+// NewPagedBaseline builds the vLLM v0.6.3-style PagedAttention manager:
+// one page size for every layer, no sliding-window freeing, static
+// Mamba partition.
+func NewPagedBaseline(cfg BaselineConfig) (*PagedBaseline, error) { return baseline.NewPaged(cfg) }
+
+// NewJengaShared serves a target and a draft model from one Jenga heap
+// (§6.1); NewVLLMMax and NewVLLMManual are the §7.4 baselines.
+var (
+	NewJengaShared = baseline.NewJengaShared
+	NewVLLMMax     = baseline.NewVLLMMax
+	NewVLLMManual  = baseline.NewVLLMManual
+)
+
+// Serving-engine surface.
+type (
+	// EngineConfig configures NewEngine.
+	EngineConfig = engine.Config
+	// Engine is the continuous-batching serving simulator.
+	Engine = engine.Engine
+	// Result aggregates a run's metrics.
+	Result = engine.Result
+	// MemSample is one memory-timeline point.
+	MemSample = engine.MemSample
+	// VisionStrategy selects the §6.2 embedding-cache strategy.
+	VisionStrategy = engine.VisionStrategy
+)
+
+// Vision strategies (§6.2).
+const (
+	VisionNone         = engine.VisionNone
+	VisionFreeOnDemand = engine.VisionFreeOnDemand
+	VisionReuseKV      = engine.VisionReuseKV
+)
+
+// NewEngine builds a serving simulation.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// Device and cost-model surface.
+type (
+	// Device is a simulated GPU.
+	Device = gpu.Device
+	// CostModel converts step work into simulated time.
+	CostModel = gpu.CostModel
+	// StepWork describes one step's computation.
+	StepWork = gpu.StepWork
+)
+
+// H100 and L4 are the paper's evaluation platforms.
+var (
+	H100 = gpu.H100
+	L4   = gpu.L4
+)
+
+// KVBudget returns the KV byte budget for a model on a device.
+var KVBudget = gpu.KVBudget
+
+// Workload surface.
+type (
+	// Request is one serving request.
+	Request = workload.Request
+	// WorkloadGen generates the paper's synthetic datasets.
+	WorkloadGen = workload.Gen
+	// Article is a long document in the arXiv-QA pool.
+	Article = workload.Article
+)
+
+// NewWorkloadGen creates a deterministic workload generator.
+func NewWorkloadGen(seed int64) *WorkloadGen { return workload.NewGen(seed) }
+
+// AllAtOnce zeroes arrival times (offline batch serving).
+var AllAtOnce = workload.AllAtOnce
+
+// Speculative-decoding surface (§6.1, Fig. 19).
+type (
+	// SpecConfig configures NewSpeculative.
+	SpecConfig = spec.Config
+	// SpecDriver runs two-model speculative decoding.
+	SpecDriver = spec.Driver
+	// SpecResult aggregates a speculative run's metrics.
+	SpecResult = spec.Result
+)
+
+// NewSpeculative builds a speculative-decoding driver.
+func NewSpeculative(cfg SpecConfig) (*SpecDriver, error) { return spec.New(cfg) }
+
+// Models exposes the paper's evaluation zoo (Table 1 and Figs. 18/19).
+var Models = struct {
+	Llama31_8B       func() *Spec
+	Llama31_70B      func() *Spec
+	Llama32Vision11B func() *Spec
+	Gemma2_27B       func() *Spec
+	Gemma2_9B        func() *Spec
+	Gemma2_2B        func() *Spec
+	Ministral8B      func() *Spec
+	MinistralDraft1B func() *Spec
+	Jamba52B         func() *Spec
+	CharacterAI70B   func() *Spec
+	CharacterAI8B    func() *Spec
+	PyramidKV70B     func() *Spec
+	PyramidKV8B      func() *Spec
+	LLaVAOneVision7B func() *Spec
+	InternVL2_8B     func() *Spec
+	Phi3Vision4B     func() *Spec
+	Paligemma2_10B   func() *Spec
+	Llama32_1B       func() *Spec
+	ByName           func(string) (*Spec, error)
+	All              func() []*Spec
+}{
+	Llama31_8B:       model.Llama31_8B,
+	Llama31_70B:      model.Llama31_70B,
+	Llama32Vision11B: model.Llama32Vision11B,
+	Gemma2_27B:       model.Gemma2_27B,
+	Gemma2_9B:        model.Gemma2_9B,
+	Gemma2_2B:        model.Gemma2_2B,
+	Ministral8B:      model.Ministral8B,
+	MinistralDraft1B: model.MinistralDraft1B,
+	Jamba52B:         model.Jamba52B,
+	CharacterAI70B:   model.CharacterAI70B,
+	CharacterAI8B:    model.CharacterAI8B,
+	PyramidKV70B:     model.PyramidKV70B,
+	PyramidKV8B:      model.PyramidKV8B,
+	LLaVAOneVision7B: model.LLaVAOneVision7B,
+	InternVL2_8B:     model.InternVL2_8B,
+	Phi3Vision4B:     model.Phi3Vision4B,
+	Paligemma2_10B:   model.Paligemma2_10B,
+	Llama32_1B:       model.Llama32_1B,
+	ByName:           model.ByName,
+	All:              model.All,
+}

@@ -1,0 +1,184 @@
+package jenga_test
+
+// Black-box tests of the public API facade: everything a downstream
+// user touches must work through the root package alone.
+
+import (
+	"errors"
+	"testing"
+
+	"jenga"
+)
+
+func TestModelsZoo(t *testing.T) {
+	all := jenga.Models.All()
+	if len(all) < 15 {
+		t.Fatalf("zoo has %d models, want ≥ 15", len(all))
+	}
+	spec, err := jenga.Models.ByName("jamba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.IsHeterogeneous() {
+		t.Error("jamba should be heterogeneous")
+	}
+	if _, err := jenga.Models.ByName("missing"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestPublicManagerLifecycle(t *testing.T) {
+	spec := jenga.Models.Gemma2_9B()
+	mgr, err := jenga.NewManager(jenga.ManagerConfig{
+		Spec: spec, CapacityBytes: 1 << 30, EnablePrefixCache: true, RequestAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := &jenga.Sequence{ID: 1, PromptLen: 1000}
+	for i := 0; i < 1000; i++ {
+		seq.Tokens = append(seq.Tokens, jenga.Token{ID: int32(i + 1)})
+	}
+	if err := mgr.Reserve(seq, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Commit(seq, 1000, 1)
+	u := mgr.Usage()
+	if u.Used == 0 {
+		t.Error("expected used memory")
+	}
+	if u.Used+u.Cached+u.Wasted+u.Free != mgr.Capacity() {
+		t.Error("conservation violated through public API")
+	}
+	mgr.Release(seq, true)
+	probe := &jenga.Sequence{ID: 2, PromptLen: 1000, Tokens: seq.Tokens}
+	if hit := mgr.Lookup(probe); hit == 0 {
+		t.Error("expected a prefix hit")
+	}
+}
+
+func TestPublicBaselineAndBudget(t *testing.T) {
+	spec := jenga.Models.Llama31_8B()
+	budget, err := jenga.KVBudget(spec, jenga.H100(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget <= 0 {
+		t.Fatal("budget must be positive")
+	}
+	if _, err := jenga.KVBudget(jenga.Models.Jamba52B(), jenga.L4(), 0); err == nil {
+		t.Error("jamba on L4 should OOM")
+	}
+	mgr, err := jenga.NewPagedBaseline(jenga.BaselineConfig{Spec: spec, CapacityBytes: 1 << 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := &jenga.Sequence{ID: 5, Tokens: []jenga.Token{{ID: 1}, {ID: 2}}}
+	if err := mgr.Reserve(seq, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Commit(seq, 2, 1)
+	mgr.Release(seq, false)
+}
+
+func TestPublicEngineRun(t *testing.T) {
+	spec := jenga.Models.CharacterAI8B()
+	mgr, err := jenga.NewManager(jenga.ManagerConfig{
+		Spec: spec, CapacityBytes: 1 << 30, RequestAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := jenga.Device{Name: "test", MemBytes: 1 << 32, FLOPS: 50e12, MemBW: 500e9}
+	eng, err := jenga.NewEngine(jenga.EngineConfig{
+		Spec: spec, Device: dev, Manager: mgr, MaxBatchTokens: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := jenga.NewWorkloadGen(3)
+	reqs := g.MMLUPro(8, 128)
+	for i := range reqs {
+		if len(reqs[i].Prompt) > 500 {
+			reqs[i].Prompt = reqs[i].Prompt[:500]
+		}
+		reqs[i].OutputLen = 8
+	}
+	jenga.AllAtOnce(reqs)
+	res, err := eng.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != 8 {
+		t.Errorf("finished %d of 8", res.Finished)
+	}
+	if res.ReqPerSec <= 0 {
+		t.Error("throughput must be positive")
+	}
+}
+
+func TestPublicSpeculative(t *testing.T) {
+	target := jenga.Models.Gemma2_9B()
+	draft := jenga.Models.Gemma2_2B()
+	ms, err := jenga.NewJengaShared(target, draft, 1<<30, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := jenga.NewSpeculative(jenga.SpecConfig{
+		Target: target, Draft: draft,
+		Device:   jenga.Device{Name: "t", MemBytes: 1 << 32, FLOPS: 50e12, MemBW: 500e9},
+		Managers: ms, K: 4, AcceptRate: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := jenga.NewWorkloadGen(4)
+	reqs := g.ShareGPT(4)
+	for i := range reqs {
+		if len(reqs[i].Prompt) > 300 {
+			reqs[i].Prompt = reqs[i].Prompt[:300]
+		}
+		reqs[i].OutputLen = 12
+	}
+	jenga.AllAtOnce(reqs)
+	res, err := d.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != 4 {
+		t.Errorf("finished %d of 4", res.Finished)
+	}
+}
+
+func TestPublicGeometry(t *testing.T) {
+	spec := jenga.Models.Jamba52B()
+	geo, err := spec.Geometry(jenga.LCMPage, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.Ratio["attn"] != 588 {
+		t.Errorf("attn ratio = %d, want 588", geo.Ratio["attn"])
+	}
+	if _, err := spec.Geometry(jenga.GCDPage, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Geometry(jenga.MaxPage, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrNoSpaceExported(t *testing.T) {
+	spec := jenga.Models.Llama31_8B()
+	mgr, err := jenga.NewManager(jenga.ManagerConfig{Spec: spec, CapacityBytes: 1 << 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := &jenga.Sequence{ID: 1}
+	for i := 0; i < 10_000; i++ {
+		seq.Tokens = append(seq.Tokens, jenga.Token{ID: int32(i + 1)})
+	}
+	err = mgr.Reserve(seq, 10_000, 1)
+	if !errors.Is(err, jenga.ErrNoSpace) {
+		t.Errorf("expected ErrNoSpace, got %v", err)
+	}
+}
