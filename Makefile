@@ -1,0 +1,28 @@
+# Targets mirror what .github/workflows/ci.yml runs.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verify (ROADMAP.md): build plus the full test suite.
+test: build
+	$(GO) test ./...
+
+# Race pass; -short skips the full-scale experiment replays.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+ci: vet build test race
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi

@@ -79,6 +79,42 @@ func BenchmarkAblationRequestAware(b *testing.B) { runExperiment(b, "ablation-re
 // checkpoint-interval sweep.
 func BenchmarkAblationCheckpoint(b *testing.B) { runExperiment(b, "ablation-ckpt") }
 
+// --- cluster routing ----------------------------------------------------
+
+// BenchmarkClusterRouting compares the three routing policies on a
+// 4-replica fleet serving a shared-prefix workload (the tentpole
+// cluster comparison: prefix-affinity vs load-oblivious and
+// load-balanced routing).
+func BenchmarkClusterRouting(b *testing.B) {
+	for _, policy := range []jenga.RouterPolicy{
+		jenga.RoundRobin, jenga.LeastLoaded, jenga.PrefixAffinity,
+	} {
+		b.Run(policy.String(), func(b *testing.B) {
+			gen := jenga.NewWorkloadGen(42)
+			reqs := gen.PrefixGroups(15, 12, 1024, 128)
+			jenga.AllAtOnce(reqs)
+			b.ReportAllocs()
+			var hit float64
+			for i := 0; i < b.N; i++ {
+				c, err := jenga.NewCluster(jenga.ClusterConfig{
+					Spec:     jenga.Models.Gemma2_2B(),
+					Replicas: 4,
+					Policy:   policy,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := c.Serve(reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hit = res.HitRate
+			}
+			b.ReportMetric(100*hit, "hit%")
+		})
+	}
+}
+
 // --- allocator micro-benchmarks -----------------------------------------
 
 // benchSpec is a two-type model exercising the LCM allocator.

@@ -1,11 +1,13 @@
 // Command jengabench runs the paper's experiments by ID and prints the
-// corresponding tables and series.
+// corresponding tables and series, or — with -replicas — a cluster
+// serving comparison of the routing policies.
 //
 // Usage:
 //
 //	jengabench -list
 //	jengabench -exp fig13 -scale 0.5
 //	jengabench -exp all
+//	jengabench -replicas 4 -router all -model gemma2-2b -rate 200
 package main
 
 import (
@@ -15,7 +17,11 @@ import (
 	"strings"
 	"time"
 
+	"jenga/internal/cluster"
 	"jenga/internal/experiments"
+	"jenga/internal/gpu"
+	"jenga/internal/model"
+	"jenga/internal/workload"
 )
 
 func main() {
@@ -25,8 +31,28 @@ func main() {
 		scale = flag.Float64("scale", 1.0, "request-count scale factor")
 		seed  = flag.Int64("seed", 42, "workload seed")
 		csv   = flag.String("csv", "", "directory to also write tables as CSV")
+
+		replicas  = flag.Int("replicas", 0, "run cluster mode with N engine replicas")
+		router    = flag.String("router", "all", "routing policy: roundrobin, leastloaded, affinity or all")
+		modelName = flag.String("model", "gemma2-2b", "model for cluster mode (see Models zoo)")
+		device    = flag.String("device", "h100", "device for cluster mode: h100 or l4")
+		requests  = flag.Int("requests", 480, "cluster-mode request count")
+		rate      = flag.Float64("rate", 0, "cluster-mode Poisson arrival rate in req/s (0 = all at once)")
+		groups    = flag.Int("prefix-groups", 0, "shared-prefix classes (default 4×replicas-1)")
+		prefixLen = flag.Int("prefix-len", 1024, "shared-prefix length in tokens")
 	)
 	flag.Parse()
+	if *replicas > 0 {
+		if *exp != "" || *list || *csv != "" {
+			fmt.Fprintln(os.Stderr, "cluster mode (-replicas) does not combine with -exp, -list or -csv")
+			os.Exit(1)
+		}
+		if err := runCluster(*replicas, *router, *modelName, *device, *requests, *rate, *groups, *prefixLen, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
 		for _, id := range experiments.IDs() {
@@ -60,4 +86,80 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runCluster compares routing policies on a shared-prefix workload.
+func runCluster(replicas int, router, modelName, device string, requests int, rate float64, groups, prefixLen int, seed int64) error {
+	spec, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	var dev gpu.Device
+	switch strings.ToLower(device) {
+	case "h100":
+		dev = gpu.H100()
+	case "l4":
+		dev = gpu.L4()
+	default:
+		return fmt.Errorf("unknown device %q (want h100 or l4)", device)
+	}
+	var policies []cluster.RouterPolicy
+	if router == "all" {
+		policies = []cluster.RouterPolicy{cluster.RoundRobin, cluster.LeastLoaded, cluster.PrefixAffinity}
+	} else {
+		p, err := cluster.ParsePolicy(router)
+		if err != nil {
+			return err
+		}
+		policies = []cluster.RouterPolicy{p}
+	}
+	if groups <= 0 {
+		// More prefix classes than replicas, deliberately co-prime-ish
+		// so round-robin cannot accidentally align classes to replicas.
+		groups = 4*replicas - 1
+	}
+	perGroup := requests / groups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+
+	fmt.Printf("cluster: %d × %s on %s, %d requests over %d shared prefixes of %d tokens\n",
+		replicas, spec.Name, dev.Name, groups*perGroup, groups, prefixLen)
+	fmt.Printf("%-12s %9s %10s %10s %10s %8s %10s %8s\n",
+		"router", "req/s", "p50 TTFT", "p99 TTFT", "p99 E2E", "hit", "imbalance", "kv-util")
+	for _, p := range policies {
+		gen := workload.NewGen(seed)
+		reqs := gen.PrefixGroups(groups, perGroup, prefixLen, 128)
+		if rate > 0 {
+			gen.PoissonArrivals(reqs, rate)
+		} else {
+			workload.AllAtOnce(reqs)
+		}
+		c, err := cluster.New(cluster.Config{
+			Spec: spec, Device: dev, Replicas: replicas, Policy: p,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := c.Serve(reqs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %9.1f %10s %10s %10s %7.1f%% %10.2f %7.1f%%\n",
+			res.Policy, res.ReqPerSec,
+			res.P50TTFT.Round(time.Millisecond), res.P99TTFT.Round(time.Millisecond),
+			res.P99E2E.Round(time.Millisecond),
+			100*res.HitRate, res.Imbalance, 100*res.MeanKVUtil)
+		if res.Failed > 0 {
+			fmt.Printf("  (%d requests failed)\n", res.Failed)
+		}
+		for _, pr := range res.PerReplica {
+			fmt.Printf("  replica %d: %4d reqs, %8d tokens, hit %5.1f%%, peak kv %5.1f%%\n",
+				pr.Replica, pr.Requests, pr.RoutedTokens,
+				100*pr.Result.HitRate, 100*pr.Result.PeakKVUtil)
+		}
+		fmt.Printf("  [%v wall]\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
 }

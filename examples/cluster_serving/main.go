@@ -1,0 +1,58 @@
+// Cluster serving: run four engine replicas behind each routing policy
+// on a shared-prefix workload and watch why routing decides the
+// fleet-wide prefix-cache hit rate — round-robin makes every replica
+// re-prefill every few-shot template, prefix-affinity pins each
+// template to one replica so the fleet's caches partition the prefix
+// space.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jenga"
+)
+
+func main() {
+	spec := jenga.Models.Gemma2_2B()
+	const replicas = 4
+
+	// 15 few-shot templates of 1024 tokens shared across 300 requests,
+	// arriving Poisson at 150 req/s — concurrent tenants whose traffic
+	// interleaves at the router.
+	gen := jenga.NewWorkloadGen(42)
+	reqs := gen.PrefixGroups(15, 20, 1024, 128)
+	gen.PoissonArrivals(reqs, 150)
+	fmt.Printf("%d replicas × %s, %d requests over 15 shared prefixes\n\n",
+		replicas, spec.Name, len(reqs))
+
+	for _, policy := range []jenga.RouterPolicy{
+		jenga.RoundRobin, jenga.LeastLoaded, jenga.PrefixAffinity,
+	} {
+		c, err := jenga.NewCluster(jenga.ClusterConfig{
+			Spec:     spec,
+			Device:   jenga.H100(),
+			Replicas: replicas,
+			Policy:   policy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := c.Serve(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %6.1f req/s  p50 TTFT %-8s p99 E2E %-8s hit %5.1f%%  imbalance %.2f\n",
+			res.Policy, res.ReqPerSec,
+			res.P50TTFT.Round(time.Millisecond), res.P99E2E.Round(time.Millisecond),
+			100*res.HitRate, res.Imbalance)
+		for _, pr := range res.PerReplica {
+			fmt.Printf("   replica %d served %3d requests, hit %5.1f%%\n",
+				pr.Replica, pr.Requests, 100*pr.Result.HitRate)
+		}
+		fmt.Println()
+	}
+	fmt.Println("prefix-affinity trades a little load balance for cache locality;")
+	fmt.Println("least-loaded balances tokens but scatters prefixes like round-robin.")
+}

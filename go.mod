@@ -1,0 +1,3 @@
+module jenga
+
+go 1.24

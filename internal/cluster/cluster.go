@@ -1,0 +1,318 @@
+// Package cluster scales the single-engine serving simulation out to a
+// multi-replica cluster: N independent engine.Engine replicas — each
+// with its own core.Manager heap and simulated gpu.Device — run
+// concurrently on their own goroutines, while a pluggable Router
+// decides which replica serves each request of the arrival stream.
+//
+// The routing decision is where the paper's single-engine story meets
+// production scale-out: prefix-cache hit rate depends on *which*
+// replica a request lands on, because each replica caches only the
+// prefixes it has served. Round-robin spreads every prefix class over
+// every replica (each must cache everything); prefix-affinity
+// consistent-hashes the prompt prefix so sharing requests co-locate and
+// the fleet's caches partition the prefix space — the PagedAttention
+// sharing insight lifted one level up.
+//
+// Engines are goroutine-confined: the cluster serializes routing, hands
+// each replica its own request slice, and only aggregates results after
+// all replicas finish. Nothing is shared between replica goroutines.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"jenga/internal/core"
+	"jenga/internal/engine"
+	"jenga/internal/gpu"
+	"jenga/internal/metrics"
+	"jenga/internal/model"
+	"jenga/internal/workload"
+)
+
+// Config configures a Cluster.
+type Config struct {
+	// Spec is the model every replica serves (required).
+	Spec *model.Spec
+	// Device is each replica's simulated GPU (default H100).
+	Device gpu.Device
+	// Replicas is the number of engine replicas (required, ≥ 1).
+	Replicas int
+	// Policy selects a built-in router (ignored when Router is set).
+	Policy RouterPolicy
+	// Router overrides Policy with a custom implementation.
+	Router Router
+	// NewManager builds replica i's memory manager. Default: a Jenga
+	// manager with prefix caching and request-aware placement on
+	// CapacityBytes.
+	NewManager func(replica int) (core.Manager, error)
+	// CapacityBytes is the per-replica KV budget for the default
+	// manager (0 → gpu.KVBudget for Spec on Device).
+	CapacityBytes int64
+	// MaxBatchTokens, MaxRunning and MaxPrefills forward to each
+	// replica's engine.Config.
+	MaxBatchTokens int
+	MaxRunning     int
+	MaxPrefills    int
+	// AffinityPrefixTokens is the prompt prefix length PrefixAffinity
+	// hashes (default 256).
+	AffinityPrefixTokens int
+	// VNodes is the consistent-hash ring points per replica (default 64).
+	VNodes int
+}
+
+// ReplicaResult is one replica's share of a cluster run.
+type ReplicaResult struct {
+	// Replica is the replica index.
+	Replica int
+	// Requests is how many requests were routed here.
+	Requests int
+	// RoutedTokens is the work routed here (prompt + output tokens).
+	RoutedTokens int64
+	// Result is the replica engine's full result.
+	Result *engine.Result
+}
+
+// Result aggregates one cluster run.
+type Result struct {
+	// Policy is the router that produced this run.
+	Policy string
+	// Replicas is the fleet size.
+	Replicas int
+	// Duration is the wall time of the run: the slowest replica.
+	Duration time.Duration
+	// Finished and Failed sum across replicas.
+	Finished, Failed int
+	// ReqPerSec is total finished requests per wall second.
+	ReqPerSec float64
+	// TokensPerSec is total computed prompt plus generated tokens per
+	// wall second.
+	TokensPerSec float64
+	// P50TTFT/P99TTFT/P50E2E/P99E2E are latency percentiles over every
+	// finished request in the fleet.
+	P50TTFT, P99TTFT, P50E2E, P99E2E time.Duration
+	// HitRate is the fleet-wide prefix-cache hit rate: cached prompt
+	// tokens over cached plus computed prompt tokens (exact aggregate,
+	// not a mean of per-replica ratios).
+	HitRate float64
+	// Imbalance is max/mean of per-replica routed tokens (1.0 = even).
+	Imbalance float64
+	// MeanKVUtil averages the per-replica mean KV utilization.
+	MeanKVUtil float64
+	// PerReplica holds each replica's share, indexed by replica.
+	PerReplica []ReplicaResult
+}
+
+// Cluster owns N engine replicas and a router. Serve may be called
+// repeatedly (replica caches stay warm across calls) but is not safe
+// for concurrent use.
+type Cluster struct {
+	cfg     Config
+	router  Router
+	engines []*engine.Engine
+	// drainRate is the nominal per-replica serving rate (tokens per
+	// simulated second) used to decay Load.Outstanding between
+	// arrivals: the cost model's compute-bound token rate.
+	drainRate float64
+}
+
+// New validates the config and builds the replicas.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("cluster: model spec is required")
+	}
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 replica, got %d", cfg.Replicas)
+	}
+	if cfg.Device.Name == "" {
+		cfg.Device = gpu.H100()
+	}
+	newMgr := cfg.NewManager
+	if newMgr == nil {
+		capacity := cfg.CapacityBytes
+		if capacity == 0 {
+			budget, err := gpu.KVBudget(cfg.Spec, cfg.Device, 0)
+			if err != nil {
+				return nil, err
+			}
+			capacity = budget
+		}
+		newMgr = func(int) (core.Manager, error) {
+			return core.New(core.Config{
+				Spec:              cfg.Spec,
+				CapacityBytes:     capacity,
+				EnablePrefixCache: true,
+				RequestAware:      true,
+			})
+		}
+	}
+	router := cfg.Router
+	if router == nil {
+		var err error
+		router, err = NewRouter(cfg.Policy, cfg.Replicas, cfg.AffinityPrefixTokens, cfg.VNodes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &Cluster{cfg: cfg, router: router}
+	for i := 0; i < cfg.Replicas; i++ {
+		mgr, err := newMgr(i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica %d manager: %w", i, err)
+		}
+		eng, err := engine.New(engine.Config{
+			Spec:           cfg.Spec,
+			Device:         cfg.Device,
+			Manager:        mgr,
+			MaxBatchTokens: cfg.MaxBatchTokens,
+			MaxRunning:     cfg.MaxRunning,
+			MaxPrefills:    cfg.MaxPrefills,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica %d engine: %w", i, err)
+		}
+		c.engines = append(c.engines, eng)
+	}
+	// 2 FLOPs per active parameter per token, compute-bound: the same
+	// first-order term the cost model charges per scheduled token.
+	if f := cfg.Device.FLOPS; f > 0 {
+		c.drainRate = f / (2 * float64(cfg.Spec.ActiveParamCount()))
+	}
+	return c, nil
+}
+
+// Router returns the active router (tests and diagnostics).
+func (c *Cluster) Router() Router { return c.router }
+
+// Route partitions a request stream across replicas in arrival order
+// without running it, returning one slice per replica. Exposed so
+// tests and tools can inspect placement; Serve uses the same path.
+// Stateful built-in routers are reset at the start of every pass, so
+// placement is a pure function of the stream and a Route followed by
+// Serve sees the identical assignment (a custom stateful Router keeps
+// its own state across passes and forfeits that guarantee).
+func (c *Cluster) Route(reqs []workload.Request) [][]workload.Request {
+	assigned, _ := c.route(reqs)
+	return assigned
+}
+
+// route is Route plus the final per-replica Load vector.
+func (c *Cluster) route(reqs []workload.Request) ([][]workload.Request, []Load) {
+	if r, ok := c.router.(resettable); ok {
+		r.reset()
+	}
+	n := len(c.engines)
+	assigned := make([][]workload.Request, n)
+	loads := make([]Load, n)
+	for i := range loads {
+		loads[i].Replica = i
+	}
+	stream := append([]workload.Request(nil), reqs...)
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Arrival < stream[j].Arrival })
+	lastArrival := time.Duration(0)
+	for i := range stream {
+		r := &stream[i]
+		// Drain outstanding work at the nominal serving rate for the
+		// time elapsed since the previous arrival.
+		if dt := (r.Arrival - lastArrival).Seconds(); dt > 0 && c.drainRate > 0 {
+			for j := range loads {
+				loads[j].Outstanding -= c.drainRate * dt
+				if loads[j].Outstanding < 0 {
+					loads[j].Outstanding = 0
+				}
+			}
+		}
+		lastArrival = r.Arrival
+		rep := c.router.Route(r, loads)
+		if rep < 0 || rep >= n {
+			rep = 0 // defensive: a broken custom router must not panic the run
+		}
+		work := int64(len(r.Prompt) + r.OutputLen)
+		loads[rep].Requests++
+		loads[rep].RoutedTokens += work
+		loads[rep].Outstanding += float64(work)
+		assigned[rep] = append(assigned[rep], *r)
+	}
+	return assigned, loads
+}
+
+// Serve routes the request stream and runs every replica to completion
+// concurrently, then aggregates the fleet result. The simulation is
+// deterministic: placement is computed serially before any replica
+// starts, and each replica's engine is deterministic on its share.
+func (c *Cluster) Serve(reqs []workload.Request) (*Result, error) {
+	assigned, loads := c.route(reqs)
+	n := len(c.engines)
+	results := make([]*engine.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range c.engines {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.engines[i].Run(assigned[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: replica %d: %w", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return c.aggregate(loads, results), nil
+}
+
+// aggregate folds per-replica results into the fleet view.
+func (c *Cluster) aggregate(loads []Load, results []*engine.Result) *Result {
+	out := &Result{
+		Policy:   c.router.Name(),
+		Replicas: len(results),
+	}
+	var cached, computed, generated int64
+	var ttfts, e2es []time.Duration
+	shares := make([]float64, len(results))
+	for i, res := range results {
+		shares[i] = float64(loads[i].RoutedTokens)
+		out.PerReplica = append(out.PerReplica, ReplicaResult{
+			Replica:      i,
+			Requests:     loads[i].Requests,
+			RoutedTokens: loads[i].RoutedTokens,
+			Result:       res,
+		})
+		out.Finished += res.Finished
+		out.Failed += res.Failed
+		if res.Duration > out.Duration {
+			out.Duration = res.Duration
+		}
+		cached += res.CachedPromptTokens
+		computed += res.ComputedPromptTokens
+		generated += res.GeneratedTokens
+		out.MeanKVUtil += res.MeanKVUtil
+		for _, rm := range res.PerRequest {
+			ttfts = append(ttfts, rm.TTFT)
+			e2es = append(e2es, rm.E2E)
+		}
+	}
+	if n := len(results); n > 0 {
+		out.MeanKVUtil /= float64(n)
+	}
+	if out.Duration > 0 {
+		out.ReqPerSec = float64(out.Finished) / out.Duration.Seconds()
+		out.TokensPerSec = float64(computed+generated) / out.Duration.Seconds()
+	}
+	if work := cached + computed; work > 0 {
+		out.HitRate = float64(cached) / float64(work)
+	}
+	out.Imbalance = metrics.Imbalance(shares)
+	out.P50TTFT = metrics.Percentile(ttfts, 50)
+	out.P99TTFT = metrics.Percentile(ttfts, 99)
+	out.P50E2E = metrics.Percentile(e2es, 50)
+	out.P99E2E = metrics.Percentile(e2es, 99)
+	return out
+}

@@ -54,6 +54,18 @@ func prefixHash(tokens []Token, n int) uint64 {
 	return h
 }
 
+// PrefixHash returns the chained hash over the first n tokens (the
+// whole sequence when n exceeds it). It is the same chain prefix
+// caching publishes per block, so two requests that share a cached
+// prefix share its PrefixHash — cluster routers use it to steer
+// prefix-sharing requests to the same replica.
+func PrefixHash(tokens []Token, n int) uint64 {
+	if n > len(tokens) {
+		n = len(tokens)
+	}
+	return prefixHash(tokens, n)
+}
+
 // project returns the subsequence of tokens a group stores (its
 // "projected sequence") given the group's modality filter, plus the
 // mapping from projected index to full-sequence index.

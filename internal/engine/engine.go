@@ -8,6 +8,11 @@
 //
 // Time is simulated: each step's duration comes from the gpu.CostModel,
 // so results are deterministic and hardware-independent.
+//
+// An Engine is goroutine-confined: it owns its Manager and all run
+// state, and nothing in it is safe for concurrent use. Scale-out lives
+// one level up — internal/cluster gives every replica its own Engine,
+// Manager and Device and runs them on separate goroutines.
 package engine
 
 import (
@@ -77,6 +82,19 @@ type MemSample struct {
 	Usage core.Usage
 }
 
+// RequestMetrics is one finished request's latency record; cluster-level
+// aggregation computes percentiles across replicas from these.
+type RequestMetrics struct {
+	ID      int64
+	Arrival time.Duration
+	TTFT    time.Duration
+	E2E     time.Duration
+}
+
+// kvUtilEvery is the step stride for KV-utilization sampling (cheap
+// enough to stay on by default, coarse enough not to show in profiles).
+const kvUtilEvery = 32
+
 // Result aggregates one run's metrics.
 type Result struct {
 	Duration time.Duration
@@ -97,8 +115,23 @@ type Result struct {
 	DecodeBatchTimeline []int
 	// MemTimeline is the sampled memory usage (Fig. 16).
 	MemTimeline []MemSample
-	// HitRate is cached prompt tokens / total prompt tokens (Fig. 17).
+	// HitRate is cached prompt tokens over all prefill work, cached
+	// plus computed — recompute passes after preemption included, so it
+	// stays in [0, 1] (Fig. 17).
 	HitRate float64
+	// CachedPromptTokens and ComputedPromptTokens are HitRate's
+	// numerator and the computed remainder; keeping both lets a cluster
+	// aggregate an exact fleet-wide hit rate instead of averaging ratios.
+	CachedPromptTokens   int64
+	ComputedPromptTokens int64
+	// GeneratedTokens counts decode-produced tokens.
+	GeneratedTokens int64
+	// PerRequest records each finished request's latencies.
+	PerRequest []RequestMetrics
+	// MeanKVUtil and PeakKVUtil are the mean and peak fraction of KV
+	// capacity holding live or cached KV, sampled every kvUtilEvery
+	// steps.
+	MeanKVUtil, PeakKVUtil float64
 	// Preemptions counts recompute-preemptions.
 	Preemptions int
 	// EncoderRuns counts vision-encoder invocations (Fig. 18).
@@ -160,6 +193,10 @@ type Engine struct {
 	encoderRuns         int
 	globalStalls        int
 
+	kvUtilSum  float64
+	kvUtilN    int
+	kvUtilPeak float64
+
 	decodeTimeline []int
 	memTimeline    []MemSample
 }
@@ -190,9 +227,12 @@ func New(cfg Config) (*Engine, error) {
 	}, nil
 }
 
-// Run simulates serving the request set to completion.
+// Run simulates serving the request set to completion. Run is
+// restartable: each call starts from a clean scheduler state, but the
+// Manager keeps whatever prefix cache earlier runs left behind, so
+// back-to-back runs model a warmed-up replica.
 func (e *Engine) Run(reqs []workload.Request) (*Result, error) {
-	e.pending = e.pending[:0]
+	e.reset()
 	for i := range reqs {
 		r := &reqs[i]
 		if r.OutputLen < 1 {
@@ -238,8 +278,56 @@ func (e *Engine) Run(reqs []workload.Request) (*Result, error) {
 		if e.cfg.SampleEvery > 0 && e.step%e.cfg.SampleEvery == 0 {
 			e.memTimeline = append(e.memTimeline, MemSample{Step: e.step, Clock: e.clock, Usage: e.cfg.Manager.Usage()})
 		}
+		if e.step%kvUtilEvery == 0 {
+			e.sampleKVUtil()
+		}
+	}
+	// Final sample, unless the last step already took one (or nothing
+	// ran at all).
+	if e.step%kvUtilEvery != 0 {
+		e.sampleKVUtil()
 	}
 	return e.result(), nil
+}
+
+// reset returns the scheduler to a clean state so Run can be called
+// again on the same engine (the manager's cache is deliberately kept).
+func (e *Engine) reset() {
+	e.clock = 0
+	e.step = 0
+	e.pending = e.pending[:0]
+	e.waiting = nil
+	e.running = nil
+	e.finished = nil
+	e.failed = nil
+	e.totalPromptComputed = 0
+	e.totalCachedTokens = 0
+	e.totalPromptTokens = 0
+	e.totalGenerated = 0
+	e.preemptions = 0
+	e.encoderRuns = 0
+	e.globalStalls = 0
+	e.kvUtilSum = 0
+	e.kvUtilN = 0
+	e.kvUtilPeak = 0
+	e.decodeTimeline = nil
+	e.memTimeline = nil
+}
+
+// sampleKVUtil records the fraction of KV capacity holding live or
+// cached KV.
+func (e *Engine) sampleKVUtil() {
+	capacity := e.cfg.Manager.Capacity()
+	if capacity <= 0 {
+		return
+	}
+	u := e.cfg.Manager.Usage()
+	util := float64(u.Used+u.Cached) / float64(capacity)
+	e.kvUtilSum += util
+	e.kvUtilN++
+	if util > e.kvUtilPeak {
+		e.kvUtilPeak = util
+	}
 }
 
 // admitArrivals moves arrived requests into the waiting queue.
@@ -630,14 +718,21 @@ func (e *Engine) projCtx(r *run) map[string]int {
 // result assembles the final metrics.
 func (e *Engine) result() *Result {
 	res := &Result{
-		Duration:            e.clock,
-		Steps:               e.step,
-		Finished:            len(e.finished),
-		Failed:              len(e.failed),
-		Preemptions:         e.preemptions,
-		EncoderRuns:         e.encoderRuns,
-		DecodeBatchTimeline: e.decodeTimeline,
-		MemTimeline:         e.memTimeline,
+		Duration:             e.clock,
+		Steps:                e.step,
+		Finished:             len(e.finished),
+		Failed:               len(e.failed),
+		Preemptions:          e.preemptions,
+		EncoderRuns:          e.encoderRuns,
+		CachedPromptTokens:   e.totalCachedTokens,
+		ComputedPromptTokens: e.totalPromptComputed,
+		GeneratedTokens:      e.totalGenerated,
+		PeakKVUtil:           e.kvUtilPeak,
+		DecodeBatchTimeline:  e.decodeTimeline,
+		MemTimeline:          e.memTimeline,
+	}
+	if e.kvUtilN > 0 {
+		res.MeanKVUtil = e.kvUtilSum / float64(e.kvUtilN)
 	}
 	if e.clock > 0 {
 		res.ReqPerSec = float64(len(e.finished)) / e.clock.Seconds()
@@ -650,9 +745,16 @@ func (e *Engine) result() *Result {
 	}
 	var ttft, e2e, tpot time.Duration
 	var tpotN int
+	res.PerRequest = make([]RequestMetrics, 0, len(e.finished))
 	for _, r := range e.finished {
 		ttft += r.firstToken - r.req.Arrival
 		e2e += r.finish - r.req.Arrival
+		res.PerRequest = append(res.PerRequest, RequestMetrics{
+			ID:      r.req.ID,
+			Arrival: r.req.Arrival,
+			TTFT:    r.firstToken - r.req.Arrival,
+			E2E:     r.finish - r.req.Arrival,
+		})
 		if r.req.OutputLen > 1 {
 			tpot += (r.finish - r.firstToken) / time.Duration(r.req.OutputLen-1)
 			tpotN++

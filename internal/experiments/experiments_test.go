@@ -34,6 +34,9 @@ func TestRegistryComplete(t *testing.T) {
 // TestEveryExperimentRuns smoke-tests each runner at tiny scale and
 // checks it produces a table.
 func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; skipped with -short")
+	}
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
@@ -107,6 +110,9 @@ func TestQuantized(t *testing.T) {
 func TestUnknownExperimentAbsent(t *testing.T) {
 	if _, ok := Registry["nope"]; ok {
 		t.Error("unexpected experiment")
+	}
+	if testing.Short() {
+		t.Skip("fig13 smoke run; skipped with -short")
 	}
 	if err := Fig13(io.Discard, Options{Scale: 0.05, Seed: 1}); err != nil {
 		t.Fatalf("fig13 at tiny scale: %v", err)

@@ -20,6 +20,9 @@ import (
 // decode batch beats the flat baseline by ≥1.4× and finishes in fewer
 // decode steps, on the paper's exact workload.
 func TestShapeFig15DecodeBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale simulation; skipped with -short")
+	}
 	spec := model.Ministral8B()
 	dev := gpu.H100()
 	load := func() []workload.Request {
@@ -63,6 +66,9 @@ func TestShapeFig15DecodeBatch(t *testing.T) {
 // TestShapeFig16Waste locks the Fig. 16 result: the baseline wastes
 // >15% of KV memory on the Ministral trace while Jenga wastes <0.5%.
 func TestShapeFig16Waste(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale simulation; skipped with -short")
+	}
 	spec := model.Ministral8B()
 	dev := gpu.H100()
 	budget, err := gpu.KVBudget(spec, dev, 0)
@@ -175,6 +181,9 @@ func TestShapeHomogeneousNoOverhead(t *testing.T) {
 // TestExperimentOutputDeterministic: identical options give
 // byte-identical tables.
 func TestExperimentOutputDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two fig15 runs; skipped with -short")
+	}
 	var a, b strings.Builder
 	opt := Options{Scale: 0.1, Seed: 5}
 	if err := Fig15(&a, opt); err != nil {

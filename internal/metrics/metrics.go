@@ -76,6 +76,26 @@ func MeanInt(xs []int) float64 {
 	return float64(s) / float64(len(xs))
 }
 
+// Imbalance returns the load-imbalance factor of a share vector:
+// max(xs)/mean(xs). 1.0 is perfect balance; it returns 0 for empty or
+// all-zero input.
+func Imbalance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	maxV, sum := xs[0], 0.0
+	for _, x := range xs {
+		if x > maxV {
+			maxV = x
+		}
+		sum += x
+	}
+	if sum == 0 {
+		return 0
+	}
+	return maxV / (sum / float64(len(xs)))
+}
+
 // Downsample reduces a series to at most n points by striding, always
 // keeping the final point; it returns the original when already short.
 func Downsample(xs []float64, n int) []float64 {

@@ -8,6 +8,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"jenga/internal/core"
@@ -19,6 +20,11 @@ type Request struct {
 	ID int64
 	// Arrival is the simulated arrival time.
 	Arrival time.Duration
+	// Group labels the request's prefix-sharing class (few-shot subject,
+	// article, tenant): requests with equal Group share a prompt prefix.
+	// 0 means unlabeled. Routers and stream-splitting helpers use it;
+	// the engine ignores it.
+	Group int64
 	// Prompt is the input token sequence (text and image tokens).
 	Prompt []core.Token
 	// OutputLen is the number of tokens to generate (the engine runs
@@ -107,7 +113,7 @@ func (g *Gen) MMLUPro(n int, sharedPrefix int) []Request {
 		prompt := append([]core.Token{}, textTokens(int64(1000+subject), 0, sharedPrefix)...)
 		prompt = append(prompt, textTokens(int64(g.id())*7919, 0, qLen)...)
 		reqs = append(reqs, Request{
-			ID: g.id(), Prompt: prompt,
+			ID: g.id(), Group: int64(1000 + subject), Prompt: prompt,
 			// MMLU-pro is chain-of-thought: answers are long.
 			OutputLen: g.uniform(256, 768),
 		})
@@ -170,7 +176,7 @@ func (g *Gen) ArxivQA(arts []Article, n int, questionLen int) []Request {
 		prompt := append([]core.Token{}, a.Tokens...)
 		prompt = append(prompt, textTokens(int64(g.id())*131071, 0, questionLen)...)
 		reqs = append(reqs, Request{
-			ID: g.id(), Prompt: prompt,
+			ID: g.id(), Group: a.Seed, Prompt: prompt,
 			OutputLen: g.uniform(100, 300),
 		})
 	}
@@ -203,6 +209,51 @@ func (g *Gen) ShareGPT(n int) []Request {
 		})
 	}
 	return reqs
+}
+
+// PrefixGroups generates the cluster-routing workload: groups distinct
+// shared prefixes (few-shot templates, system prompts, tenants), each
+// serving perGroup requests that append a unique suffix of suffixLen
+// tokens. Requests interleave across groups in generation order, so an
+// arrival process laid over them alternates prefix classes the way
+// concurrent tenants do. With many groups and a per-replica cache too
+// small to hold them all, router choice dominates the aggregate prefix
+// hit rate.
+func (g *Gen) PrefixGroups(groups, perGroup, prefixLen, suffixLen int) []Request {
+	reqs := make([]Request, 0, groups*perGroup)
+	for i := 0; i < perGroup; i++ {
+		for grp := 0; grp < groups; grp++ {
+			seed := int64(7_000_000 + grp)
+			prompt := append([]core.Token{}, textTokens(seed, 0, prefixLen)...)
+			prompt = append(prompt, textTokens(int64(g.id())*15485863, 0, suffixLen)...)
+			reqs = append(reqs, Request{
+				ID: g.id(), Group: seed, Prompt: prompt,
+				OutputLen: g.uniform(16, 64),
+			})
+		}
+	}
+	return reqs
+}
+
+// SplitByGroup partitions a stream by its Group labels, preserving
+// order within each label.
+func SplitByGroup(reqs []Request) map[int64][]Request {
+	out := make(map[int64][]Request)
+	for i := range reqs {
+		out[reqs[i].Group] = append(out[reqs[i].Group], reqs[i])
+	}
+	return out
+}
+
+// Merge combines streams into one, ordered by arrival time (stable
+// across equal arrivals, so AllAtOnce batches keep their input order).
+func Merge(streams ...[]Request) []Request {
+	var out []Request
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	return out
 }
 
 // DriftLengths rescales request lengths so the mean input length drifts

@@ -161,3 +161,69 @@ func TestShareGPTMean(t *testing.T) {
 		t.Error("empty mean should be 0")
 	}
 }
+
+func TestPrefixGroupsStructure(t *testing.T) {
+	g := NewGen(7)
+	reqs := g.PrefixGroups(5, 4, 128, 32)
+	if len(reqs) != 20 {
+		t.Fatalf("got %d requests, want 20", len(reqs))
+	}
+	byGroup := SplitByGroup(reqs)
+	if len(byGroup) != 5 {
+		t.Fatalf("SplitByGroup found %d groups, want 5", len(byGroup))
+	}
+	for grp, rs := range byGroup {
+		if len(rs) != 4 {
+			t.Fatalf("group %d has %d requests, want 4", grp, len(rs))
+		}
+		// All requests in a group share the 128-token prefix exactly;
+		// suffixes are unique.
+		for i := 1; i < len(rs); i++ {
+			for j := 0; j < 128; j++ {
+				if rs[i].Prompt[j] != rs[0].Prompt[j] {
+					t.Fatalf("group %d request %d diverges from shared prefix at token %d", grp, i, j)
+				}
+			}
+			if rs[i].Prompt[128] == rs[0].Prompt[128] {
+				t.Fatalf("group %d request %d suffix collides with request 0", grp, i)
+			}
+		}
+	}
+	// Generation order interleaves groups round by round.
+	for i := 1; i < 5; i++ {
+		if reqs[i].Group == reqs[i-1].Group {
+			t.Fatalf("requests %d and %d share group %d; expected interleaving", i-1, i, reqs[i].Group)
+		}
+	}
+}
+
+func TestMergeOrdersByArrival(t *testing.T) {
+	g := NewGen(13)
+	a := g.ShareGPT(10)
+	b := g.ShareGPT(10)
+	g.PoissonArrivals(a, 50)
+	g.PoissonArrivals(b, 50)
+	merged := Merge(a, b)
+	if len(merged) != 20 {
+		t.Fatalf("merged %d requests, want 20", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Arrival < merged[i-1].Arrival {
+			t.Fatalf("merge not in arrival order at %d", i)
+		}
+	}
+	// Stability: all-at-once streams keep input order.
+	AllAtOnce(a)
+	AllAtOnce(b)
+	flat := Merge(a, b)
+	for i := range a {
+		if flat[i].ID != a[i].ID {
+			t.Fatalf("stable merge broken: position %d has ID %d, want %d", i, flat[i].ID, a[i].ID)
+		}
+	}
+	for i := range b {
+		if flat[len(a)+i].ID != b[i].ID {
+			t.Fatalf("stable merge broken in second stream at %d", i)
+		}
+	}
+}

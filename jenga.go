@@ -15,6 +15,9 @@
 //     Manager, on a simulated Device, with workloads from NewWorkloadGen.
 //   - NewSpeculative drives two-model speculative decoding over shared
 //     or split heaps.
+//   - NewCluster scales serving out to N engine replicas behind a
+//     pluggable request router (round-robin, least-loaded,
+//     prefix-affinity).
 //
 // Quick start:
 //
@@ -36,6 +39,7 @@ package jenga
 
 import (
 	"jenga/internal/baseline"
+	"jenga/internal/cluster"
 	"jenga/internal/core"
 	"jenga/internal/engine"
 	"jenga/internal/gpu"
@@ -165,6 +169,47 @@ const (
 // NewEngine builds a serving simulation.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 
+// Cluster serving surface (scale-out: N engine replicas behind a
+// router).
+type (
+	// ClusterConfig configures NewCluster.
+	ClusterConfig = cluster.Config
+	// Cluster runs N engine replicas concurrently behind a Router.
+	Cluster = cluster.Cluster
+	// ClusterResult aggregates a fleet run (throughput, p50/p99
+	// latency, fleet-wide prefix-hit rate, load imbalance).
+	ClusterResult = cluster.Result
+	// ClusterReplicaResult is one replica's share of a cluster run.
+	ClusterReplicaResult = cluster.ReplicaResult
+	// Router decides which replica serves each request (pluggable).
+	Router = cluster.Router
+	// RouterPolicy selects a built-in Router.
+	RouterPolicy = cluster.RouterPolicy
+	// ReplicaLoad is the router-visible per-replica load state.
+	ReplicaLoad = cluster.Load
+)
+
+// Built-in router policies.
+const (
+	RoundRobin     = cluster.RoundRobin
+	LeastLoaded    = cluster.LeastLoaded
+	PrefixAffinity = cluster.PrefixAffinity
+)
+
+// NewCluster builds a multi-replica serving cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// NewRouter builds a built-in router; ParseRouterPolicy converts a
+// flag spelling ("roundrobin", "leastloaded", "affinity").
+var (
+	NewRouter         = cluster.NewRouter
+	ParseRouterPolicy = cluster.ParsePolicy
+)
+
+// PrefixHash hashes a prompt's first n tokens with the prefix-cache
+// block chain (custom routers key consistent hashing on it).
+var PrefixHash = core.PrefixHash
+
 // Device and cost-model surface.
 type (
 	// Device is a simulated GPU.
@@ -197,8 +242,14 @@ type (
 // NewWorkloadGen creates a deterministic workload generator.
 func NewWorkloadGen(seed int64) *WorkloadGen { return workload.NewGen(seed) }
 
-// AllAtOnce zeroes arrival times (offline batch serving).
-var AllAtOnce = workload.AllAtOnce
+// AllAtOnce zeroes arrival times (offline batch serving);
+// MergeStreams combines arrival streams in time order; SplitByGroup
+// partitions a stream by its prefix-sharing labels.
+var (
+	AllAtOnce    = workload.AllAtOnce
+	MergeStreams = workload.Merge
+	SplitByGroup = workload.SplitByGroup
+)
 
 // Speculative-decoding surface (§6.1, Fig. 19).
 type (

@@ -117,6 +117,43 @@ func TestPublicEngineRun(t *testing.T) {
 	}
 }
 
+func TestPublicClusterServe(t *testing.T) {
+	g := jenga.NewWorkloadGen(9)
+	reqs := g.PrefixGroups(7, 6, 256, 32)
+	jenga.AllAtOnce(reqs)
+	c, err := jenga.NewCluster(jenga.ClusterConfig{
+		Spec:          jenga.Models.Gemma2_2B(),
+		Replicas:      4,
+		Policy:        jenga.PrefixAffinity,
+		CapacityBytes: 256 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != len(reqs) {
+		t.Errorf("finished %d of %d", res.Finished, len(reqs))
+	}
+	if res.HitRate <= 0 {
+		t.Error("shared-prefix workload must hit the prefix cache")
+	}
+	if len(res.PerReplica) != 4 {
+		t.Errorf("PerReplica has %d entries, want 4", len(res.PerReplica))
+	}
+	// Same prefix hash → same replica, via the exported hash.
+	h1 := jenga.PrefixHash(reqs[0].Prompt, 256)
+	h7 := jenga.PrefixHash(reqs[7].Prompt, 256) // same group, next round
+	if reqs[0].Group == reqs[7].Group && h1 != h7 {
+		t.Error("shared prefixes must share PrefixHash")
+	}
+	if got := len(jenga.SplitByGroup(reqs)); got != 7 {
+		t.Errorf("SplitByGroup found %d groups, want 7", got)
+	}
+}
+
 func TestPublicSpeculative(t *testing.T) {
 	target := jenga.Models.Gemma2_9B()
 	draft := jenga.Models.Gemma2_2B()
