@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci
+.PHONY: build test race bench bench-json fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable serving scorecard (BENCH_serving.json), mirrored by
+# the CI artifact upload: the online streaming benchmark under a
+# 4-replica overload with kv+slo admission.
+bench-json:
+	$(GO) run ./cmd/jengabench -stream -replicas 4 -requests 480 -rate 600 \
+		-slo-ttft 250ms -deadline 2s -admission kv+slo \
+		-bench-json BENCH_serving.json
 
 fmt:
 	gofmt -w .

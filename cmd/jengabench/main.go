@@ -1,6 +1,12 @@
 // Command jengabench runs the paper's experiments by ID and prints the
-// corresponding tables and series, or — with -replicas — a cluster
-// serving comparison of the routing policies.
+// corresponding tables and series, with -replicas a cluster serving
+// comparison of the routing policies, or with -stream an online
+// serving benchmark over the event-driven core: requests are routed at
+// their arrival instants against live replica state, admission sheds
+// by KV demand or SLO estimates, and the scorecard (goodput, SLO
+// attainment, shed rate, latency percentiles) is printed and — with
+// -bench-json — written as machine-readable JSON so the serving
+// trajectory is tracked across PRs.
 //
 // Usage:
 //
@@ -8,9 +14,12 @@
 //	jengabench -exp fig13 -scale 0.5
 //	jengabench -exp all
 //	jengabench -replicas 4 -router all -model gemma2-2b -rate 200
+//	jengabench -stream -rate 150 -slo-ttft 750ms -admission kv+slo \
+//	    -bench-json BENCH_serving.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +27,7 @@ import (
 	"time"
 
 	"jenga/internal/cluster"
+	"jenga/internal/engine"
 	"jenga/internal/experiments"
 	"jenga/internal/gpu"
 	"jenga/internal/model"
@@ -34,14 +44,44 @@ func main() {
 
 		replicas  = flag.Int("replicas", 0, "run cluster mode with N engine replicas")
 		router    = flag.String("router", "all", "routing policy: roundrobin, leastloaded, affinity or all")
-		modelName = flag.String("model", "gemma2-2b", "model for cluster mode (see Models zoo)")
-		device    = flag.String("device", "h100", "device for cluster mode: h100 or l4")
-		requests  = flag.Int("requests", 480, "cluster-mode request count")
-		rate      = flag.Float64("rate", 0, "cluster-mode Poisson arrival rate in req/s (0 = all at once)")
+		modelName = flag.String("model", "gemma2-2b", "model for cluster/stream mode (see Models zoo)")
+		device    = flag.String("device", "h100", "device for cluster/stream mode: h100 or l4")
+		requests  = flag.Int("requests", 480, "cluster/stream-mode request count")
+		rate      = flag.Float64("rate", 0, "Poisson arrival rate in req/s (0 = all at once; stream mode defaults to 150)")
 		groups    = flag.Int("prefix-groups", 0, "shared-prefix classes (default 4×replicas-1)")
 		prefixLen = flag.Int("prefix-len", 1024, "shared-prefix length in tokens")
+
+		stream    = flag.Bool("stream", false, "run the online streaming-serving benchmark (event-driven core, live routing, admission)")
+		sloTTFT   = flag.Duration("slo-ttft", 750*time.Millisecond, "stream-mode TTFT target for SLO attainment and the slo admission policy")
+		deadline  = flag.Duration("deadline", 0, "stream-mode per-request E2E deadline for goodput (0 = none)")
+		admission = flag.String("admission", "none", "stream-mode admission policy: none, kv, slo or a + chain like kv+slo")
+		benchJSON = flag.String("bench-json", "", "write the stream-mode scorecard to this JSON file (BENCH_serving.json)")
 	)
 	flag.Parse()
+	if *stream {
+		if *exp != "" || *list || *csv != "" {
+			fmt.Fprintln(os.Stderr, "stream mode (-stream) does not combine with -exp, -list or -csv")
+			os.Exit(1)
+		}
+		n := *replicas
+		if n <= 0 {
+			n = 1
+		}
+		r := *rate
+		if r <= 0 {
+			r = 150
+		}
+		routerName := *router
+		if routerName == "all" {
+			routerName = "affinity"
+		}
+		if err := runStream(n, routerName, *modelName, *device, *requests, r, *groups, *prefixLen, *seed,
+			*sloTTFT, *deadline, *admission, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *replicas > 0 {
 		if *exp != "" || *list || *csv != "" {
 			fmt.Fprintln(os.Stderr, "cluster mode (-replicas) does not combine with -exp, -list or -csv")
@@ -88,20 +128,27 @@ func main() {
 	}
 }
 
+// parseDevice converts the -device flag spelling.
+func parseDevice(device string) (gpu.Device, error) {
+	switch strings.ToLower(device) {
+	case "h100":
+		return gpu.H100(), nil
+	case "l4":
+		return gpu.L4(), nil
+	default:
+		return gpu.Device{}, fmt.Errorf("unknown device %q (want h100 or l4)", device)
+	}
+}
+
 // runCluster compares routing policies on a shared-prefix workload.
 func runCluster(replicas int, router, modelName, device string, requests int, rate float64, groups, prefixLen int, seed int64) error {
 	spec, err := model.ByName(modelName)
 	if err != nil {
 		return err
 	}
-	var dev gpu.Device
-	switch strings.ToLower(device) {
-	case "h100":
-		dev = gpu.H100()
-	case "l4":
-		dev = gpu.L4()
-	default:
-		return fmt.Errorf("unknown device %q (want h100 or l4)", device)
+	dev, err := parseDevice(device)
+	if err != nil {
+		return err
 	}
 	var policies []cluster.RouterPolicy
 	if router == "all" {
@@ -161,5 +208,126 @@ func runCluster(replicas int, router, modelName, device string, requests int, ra
 		}
 		fmt.Printf("  [%v wall]\n", time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// servingBench is the machine-readable BENCH_serving.json schema: the
+// serving scorecard tracked across PRs.
+type servingBench struct {
+	Model     string  `json:"model"`
+	Device    string  `json:"device"`
+	Replicas  int     `json:"replicas"`
+	Router    string  `json:"router"`
+	Admission string  `json:"admission"`
+	Requests  int     `json:"requests"`
+	RatePerS  float64 `json:"rate_per_s"`
+	SLOTTFTMs float64 `json:"slo_ttft_ms"`
+
+	ReqPerSec     float64 `json:"req_per_s"`
+	Goodput       float64 `json:"goodput_per_s"`
+	SLOAttainment float64 `json:"slo_attainment"`
+	ShedRate      float64 `json:"shed_rate"`
+	P50TTFTMs     float64 `json:"p50_ttft_ms"`
+	P99TTFTMs     float64 `json:"p99_ttft_ms"`
+	P50E2EMs      float64 `json:"p50_e2e_ms"`
+	P99E2EMs      float64 `json:"p99_e2e_ms"`
+	HitRate       float64 `json:"hit_rate"`
+	MeanKVUtil    float64 `json:"mean_kv_util"`
+	Imbalance     float64 `json:"imbalance"`
+	Finished      int     `json:"finished"`
+	Failed        int     `json:"failed"`
+	Shed          int     `json:"shed"`
+}
+
+// runStream runs the online streaming-serving benchmark: a
+// shared-prefix Poisson stream through ServeOnline, where routing sees
+// live replica state and admission sheds at arrival.
+func runStream(replicas int, router, modelName, device string, requests int, rate float64,
+	groups, prefixLen int, seed int64, sloTTFT, deadline time.Duration, admission, benchJSON string) error {
+	spec, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := parseDevice(device)
+	if err != nil {
+		return err
+	}
+	policy, err := cluster.ParsePolicy(router)
+	if err != nil {
+		return err
+	}
+	adm, err := engine.ParseAdmission(admission, sloTTFT)
+	if err != nil {
+		return err
+	}
+	if groups <= 0 {
+		groups = 4*replicas - 1
+	}
+	perGroup := requests / groups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	gen := workload.NewGen(seed)
+	reqs := gen.PrefixGroups(groups, perGroup, prefixLen, 128)
+	gen.PoissonArrivals(reqs, rate)
+	if deadline > 0 {
+		workload.SetDeadlines(reqs, deadline)
+	}
+	c, err := cluster.New(cluster.Config{
+		Spec: spec, Device: dev, Replicas: replicas, Policy: policy,
+		Admission: adm, SLOTTFT: sloTTFT,
+	})
+	if err != nil {
+		return err
+	}
+	admName := "none"
+	if adm != nil {
+		admName = adm.Name()
+	}
+	fmt.Printf("stream: %d × %s on %s, %d requests at %.0f req/s, router %s, admission %s, slo-ttft %v\n",
+		replicas, spec.Name, dev.Name, len(reqs), rate, policy, admName, sloTTFT)
+	start := time.Now()
+	res, err := c.ServeOnline(reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %9s %9s %10s %9s %10s %10s %8s %8s\n",
+		"req/s", "goodput", "slo-att", "shed", "p50 TTFT", "p99 TTFT", "p99 E2E", "hit", "kv-util")
+	fmt.Printf("%-12.1f %9.1f %8.1f%% %9.1f%% %9s %10s %10s %7.1f%% %7.1f%%\n",
+		res.ReqPerSec, res.Goodput, 100*res.SLOAttainment,
+		100*float64(res.Shed)/float64(len(reqs)),
+		res.P50TTFT.Round(time.Millisecond), res.P99TTFT.Round(time.Millisecond),
+		res.P99E2E.Round(time.Millisecond), 100*res.HitRate, 100*res.MeanKVUtil)
+	fmt.Printf("finished %d, failed %d, shed %d  [%v wall]\n",
+		res.Finished, res.Failed, res.Shed, time.Since(start).Round(time.Millisecond))
+	if benchJSON == "" {
+		return nil
+	}
+	bench := servingBench{
+		Model: spec.Name, Device: dev.Name, Replicas: replicas,
+		Router: policy.String(), Admission: admName,
+		Requests: len(reqs), RatePerS: rate,
+		SLOTTFTMs:     float64(sloTTFT) / float64(time.Millisecond),
+		ReqPerSec:     res.ReqPerSec,
+		Goodput:       res.Goodput,
+		SLOAttainment: res.SLOAttainment,
+		ShedRate:      float64(res.Shed) / float64(len(reqs)),
+		P50TTFTMs:     float64(res.P50TTFT) / float64(time.Millisecond),
+		P99TTFTMs:     float64(res.P99TTFT) / float64(time.Millisecond),
+		P50E2EMs:      float64(res.P50E2E) / float64(time.Millisecond),
+		P99E2EMs:      float64(res.P99E2E) / float64(time.Millisecond),
+		HitRate:       res.HitRate,
+		MeanKVUtil:    res.MeanKVUtil,
+		Imbalance:     res.Imbalance,
+		Finished:      res.Finished, Failed: res.Failed, Shed: res.Shed,
+	}
+	buf, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", benchJSON)
 	return nil
 }

@@ -16,6 +16,15 @@
 // Engines are goroutine-confined: the cluster serializes routing, hands
 // each replica its own request slice, and only aggregates results after
 // all replicas finish. Nothing is shared between replica goroutines.
+//
+// Two serving paths share the replicas and the aggregation. Serve is
+// the batch path: placement is precomputed from estimate-drained
+// loads, then every replica's Engine.Run (the batch driver over the
+// engine's streaming core) executes concurrently. ServeOnline (see
+// online.go) drives the streaming cores directly: replicas advance to
+// each arrival instant, routers decide on live per-replica state
+// (measured Usage, queue depth, outstanding tokens — Load.Live), and
+// per-replica admission policies shed at arrival.
 package cluster
 
 import (
@@ -62,6 +71,13 @@ type Config struct {
 	AffinityPrefixTokens int
 	// VNodes is the consistent-hash ring points per replica (default 64).
 	VNodes int
+	// Admission forwards an admission policy to every replica engine:
+	// online serving sheds at each request's arrival instant against
+	// that replica's live memory and queue state. Nil admits all.
+	Admission engine.AdmissionPolicy
+	// SLOTTFT is the fleet time-to-first-token target SLO attainment
+	// is measured against (0: attainment over per-request deadlines).
+	SLOTTFT time.Duration
 }
 
 // ReplicaResult is one replica's share of a cluster run.
@@ -102,6 +118,16 @@ type Result struct {
 	Imbalance float64
 	// MeanKVUtil averages the per-replica mean KV utilization.
 	MeanKVUtil float64
+	// Shed counts requests the replicas' admission policies dropped
+	// (online serving; 0 without an admission policy).
+	Shed int
+	// Goodput is deadline-meeting finishes per wall second (equals
+	// ReqPerSec when no request carries a deadline).
+	Goodput float64
+	// SLOAttainment is the fraction of finished requests with TTFT at
+	// or under Config.SLOTTFT (with no target: the fraction meeting
+	// their own deadlines; 1 when neither is set).
+	SLOAttainment float64
 	// PerReplica holds each replica's share, indexed by replica.
 	PerReplica []ReplicaResult
 }
@@ -170,6 +196,7 @@ func New(cfg Config) (*Cluster, error) {
 			MaxBatchTokens: cfg.MaxBatchTokens,
 			MaxRunning:     cfg.MaxRunning,
 			MaxPrefills:    cfg.MaxPrefills,
+			Admission:      cfg.Admission,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d engine: %w", i, err)
@@ -276,6 +303,7 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result) *Result {
 	}
 	var cached, computed, generated int64
 	var ttfts, e2es []time.Duration
+	deadlineMet := 0
 	shares := make([]float64, len(results))
 	for i, res := range results {
 		shares[i] = float64(loads[i].RoutedTokens)
@@ -287,6 +315,7 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result) *Result {
 		})
 		out.Finished += res.Finished
 		out.Failed += res.Failed
+		out.Shed += res.Shed
 		if res.Duration > out.Duration {
 			out.Duration = res.Duration
 		}
@@ -297,6 +326,9 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result) *Result {
 		for _, rm := range res.PerRequest {
 			ttfts = append(ttfts, rm.TTFT)
 			e2es = append(e2es, rm.E2E)
+			if rm.Deadline == 0 || rm.E2E <= rm.Deadline {
+				deadlineMet++
+			}
 		}
 	}
 	if n := len(results); n > 0 {
@@ -305,6 +337,12 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result) *Result {
 	if out.Duration > 0 {
 		out.ReqPerSec = float64(out.Finished) / out.Duration.Seconds()
 		out.TokensPerSec = float64(computed+generated) / out.Duration.Seconds()
+		out.Goodput = metrics.Goodput(deadlineMet, out.Duration)
+	}
+	if c.cfg.SLOTTFT > 0 {
+		out.SLOAttainment = metrics.Attainment(ttfts, c.cfg.SLOTTFT)
+	} else {
+		out.SLOAttainment = metrics.Fraction(deadlineMet, out.Finished)
 	}
 	if work := cached + computed; work > 0 {
 		out.HitRate = float64(cached) / float64(work)

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jenga/internal/workload"
+)
+
+// Golden regression for the streaming-core reimplementation: batch
+// Cluster.Serve must reproduce the PR-1 seeded fleet metrics exactly
+// (placement, per-replica engine runs, and aggregation are all
+// deterministic).
+
+func goldenFleetWorkload() []workload.Request {
+	gen := workload.NewGen(7)
+	reqs := gen.PrefixGroups(15, 12, 512, 48)
+	gen.PoissonArrivals(reqs, 300)
+	return reqs
+}
+
+func TestServeGoldenSeeded(t *testing.T) {
+	want := map[RouterPolicy]struct {
+		duration, p50TTFT, p99TTFT, p50E2E, p99E2E time.Duration
+		finished, failed                           int
+		hitRate, imbalance, meanKV                 string // %.9f
+	}{
+		RoundRobin: {
+			duration: 1093943001, finished: 180, failed: 0,
+			p50TTFT: 124383636, p99TTFT: 295256912, p50E2E: 218291369, p99E2E: 413334817,
+			hitRate: "0.725212881", imbalance: "1.004259133", meanKV: "0.984120115",
+		},
+		PrefixAffinity: {
+			duration: 1777086611, finished: 180, failed: 0,
+			p50TTFT: 200514466, p99TTFT: 1011924019, p50E2E: 274051375, p99E2E: 1082442604,
+			hitRate: "0.428072477", imbalance: "1.602828951", meanKV: "0.894021815",
+		},
+	}
+	for policy, w := range want {
+		c := testCluster(t, 3, policy, perReplicaCapacity)
+		res, err := c.Serve(goldenFleetWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Duration != w.duration || res.Finished != w.finished || res.Failed != w.failed {
+			t.Errorf("%s: duration/finished/failed = %d/%d/%d, want %d/%d/%d", policy,
+				int64(res.Duration), res.Finished, res.Failed, int64(w.duration), w.finished, w.failed)
+		}
+		if res.P50TTFT != w.p50TTFT || res.P99TTFT != w.p99TTFT || res.P50E2E != w.p50E2E || res.P99E2E != w.p99E2E {
+			t.Errorf("%s: percentiles = %d/%d/%d/%d, want %d/%d/%d/%d", policy,
+				int64(res.P50TTFT), int64(res.P99TTFT), int64(res.P50E2E), int64(res.P99E2E),
+				int64(w.p50TTFT), int64(w.p99TTFT), int64(w.p50E2E), int64(w.p99E2E))
+		}
+		for _, c := range []struct{ name, got, want string }{
+			{"hitRate", fmt.Sprintf("%.9f", res.HitRate), w.hitRate},
+			{"imbalance", fmt.Sprintf("%.9f", res.Imbalance), w.imbalance},
+			{"meanKVUtil", fmt.Sprintf("%.9f", res.MeanKVUtil), w.meanKV},
+		} {
+			if c.got != c.want {
+				t.Errorf("%s: %s = %s, want %s", policy, c.name, c.got, c.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"jenga/internal/engine"
+	"jenga/internal/workload"
+)
+
+// ServeOnline drives the fleet as an online event-driven system in
+// simulated time: every replica's streaming core is advanced to each
+// request's arrival instant, the router then places the request
+// against the replicas' *live* state — measured KV usage, queue depth
+// and outstanding work, not the batch path's drained estimates — and
+// the request is submitted to the chosen replica, where its admission
+// policy may still shed it. After the last arrival the replicas drain
+// concurrently.
+//
+// The whole drive is deterministic: arrivals are processed serially in
+// time order, each replica's engine is deterministic, and the drain
+// phase only runs already-placed work.
+func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
+	if r, ok := c.router.(resettable); ok {
+		r.reset()
+	}
+	n := len(c.engines)
+	loads := make([]Load, n)
+	for i := range loads {
+		loads[i].Replica = i
+	}
+	for _, e := range c.engines {
+		e.Reset()
+	}
+	stream := append([]workload.Request(nil), reqs...)
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Arrival < stream[j].Arrival })
+
+	lastArrival := time.Duration(0)
+	for i := range stream {
+		r := &stream[i]
+		// Advance every replica to the arrival instant so routing sees
+		// the state an online router would.
+		for j, e := range c.engines {
+			if err := e.AdvanceTo(r.Arrival); err != nil {
+				return nil, fmt.Errorf("cluster: replica %d: %w", j, err)
+			}
+		}
+		// Keep the estimate-drained Outstanding for routers written
+		// against the batch contract.
+		if dt := (r.Arrival - lastArrival).Seconds(); dt > 0 && c.drainRate > 0 {
+			for j := range loads {
+				loads[j].Outstanding -= c.drainRate * dt
+				if loads[j].Outstanding < 0 {
+					loads[j].Outstanding = 0
+				}
+			}
+		}
+		lastArrival = r.Arrival
+		for j, e := range c.engines {
+			snap := e.Snapshot()
+			loads[j].Live = true
+			loads[j].Usage = snap.Usage
+			loads[j].QueueDepth = snap.Pending + snap.Waiting
+			loads[j].OutstandingTokens = snap.OutstandingTokens
+		}
+		rep := c.router.Route(r, loads)
+		if rep < 0 || rep >= n {
+			rep = 0 // defensive: a broken custom router must not panic the run
+		}
+		if err := c.engines[rep].Submit(r); err != nil {
+			return nil, fmt.Errorf("cluster: replica %d: %w", rep, err)
+		}
+		work := int64(len(r.Prompt) + r.OutputLen)
+		loads[rep].Requests++
+		loads[rep].RoutedTokens += work
+		loads[rep].Outstanding += float64(work)
+	}
+
+	// Drain concurrently: all requests are placed, replicas are
+	// independent, so this cannot change the outcome.
+	results := make([]*engine.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, e := range c.engines {
+		wg.Add(1)
+		go func(i int, e *engine.Engine) {
+			defer wg.Done()
+			if err := e.Drain(); err != nil {
+				errs[i] = fmt.Errorf("cluster: replica %d: %w", i, err)
+				return
+			}
+			results[i] = e.ResultSnapshot()
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c.aggregate(loads, results), nil
+}

@@ -57,7 +57,10 @@ func ParsePolicy(s string) (RouterPolicy, error) {
 // Load is the router-visible state of one replica at routing time. The
 // cluster maintains it: RoutedTokens grows with every assignment and
 // Outstanding additionally drains at the replica's nominal serving
-// rate as simulated arrival time advances.
+// rate as simulated arrival time advances. In online serving
+// (Cluster.ServeOnline) the Live fields additionally carry the
+// replica's actual scheduler state at the arrival instant, so routers
+// decide on measured usage and queue depth instead of estimates.
 type Load struct {
 	// Replica is the replica index.
 	Replica int
@@ -68,6 +71,18 @@ type Load struct {
 	RoutedTokens int64
 	// Outstanding estimates tokens routed but not yet served.
 	Outstanding float64
+	// Live reports whether the fields below hold the replica's real
+	// scheduler state (online serving) rather than zero values (the
+	// precomputed batch routing pass).
+	Live bool
+	// Usage is the replica's live KV memory accounting.
+	Usage core.Usage
+	// QueueDepth is the replica's live count of admitted-but-unstarted
+	// requests.
+	QueueDepth int
+	// OutstandingTokens is the replica's live admitted-but-unserved
+	// work: remaining prompt plus remaining output tokens.
+	OutstandingTokens int64
 }
 
 // Router decides which replica serves each request. Route is called
@@ -126,20 +141,30 @@ func (r *roundRobinRouter) Route(_ *workload.Request, loads []Load) int {
 	return i
 }
 
-// leastLoadedRouter picks the replica with the fewest estimated
-// outstanding tokens, breaking ties toward less total routed work and
-// then the lower index (deterministic).
+// leastLoadedRouter picks the replica with the fewest outstanding
+// tokens — the live measured backlog when the cluster provides it
+// (online serving), the drained estimate otherwise — breaking ties
+// toward less total routed work and then the lower index
+// (deterministic).
 type leastLoadedRouter struct{}
 
 func (r *leastLoadedRouter) Name() string { return LeastLoaded.String() }
+
+// backlog is the ranking signal: live outstanding work when available.
+func (r *leastLoadedRouter) backlog(l Load) float64 {
+	if l.Live {
+		return float64(l.OutstandingTokens)
+	}
+	return l.Outstanding
+}
 
 func (r *leastLoadedRouter) Route(_ *workload.Request, loads []Load) int {
 	best := 0
 	for i := 1; i < len(loads); i++ {
 		switch {
-		case loads[i].Outstanding < loads[best].Outstanding:
+		case r.backlog(loads[i]) < r.backlog(loads[best]):
 			best = i
-		case loads[i].Outstanding == loads[best].Outstanding &&
+		case r.backlog(loads[i]) == r.backlog(loads[best]) &&
 			loads[i].RoutedTokens < loads[best].RoutedTokens:
 			best = i
 		}

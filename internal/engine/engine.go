@@ -9,16 +9,24 @@
 // Time is simulated: each step's duration comes from the gpu.CostModel,
 // so results are deterministic and hardware-independent.
 //
+// The engine is an event-driven streaming core (stream.go): requests
+// enter through Submit, progress is pushed out as Events (first token,
+// per-token, preemption, terminal states), Cancel releases a request's
+// KV mid-flight, and a pluggable AdmissionPolicy sheds work at arrival
+// when memory or SLO headroom is gone. Engine.Run is the thin batch
+// driver over that core — submit everything, step until drained — so
+// offline experiments and online serving share one scheduler.
+//
 // An Engine is goroutine-confined: it owns its Manager and all run
-// state, and nothing in it is safe for concurrent use. Scale-out lives
-// one level up — internal/cluster gives every replica its own Engine,
-// Manager and Device and runs them on separate goroutines.
+// state, and nothing in it is safe for concurrent use. Concurrency
+// lives one level up — internal/serve wraps one engine in a
+// mutex-guarded online Server, and internal/cluster gives every
+// replica its own Engine, Manager and Device.
 package engine
 
 import (
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"jenga/internal/core"
@@ -68,6 +76,10 @@ type Config struct {
 	Vision VisionStrategy
 	// KernelEfficiency models slower kernels (GCD ablation); 0 → 1.0.
 	KernelEfficiency float64
+	// Admission, when set, decides at each request's arrival instant
+	// whether it is queued or shed (see AdmissionPolicy). Nil admits
+	// everything.
+	Admission AdmissionPolicy
 	// SampleEvery records a memory-usage sample every N steps
 	// (0 disables the timeline).
 	SampleEvery int
@@ -89,6 +101,9 @@ type RequestMetrics struct {
 	Arrival time.Duration
 	TTFT    time.Duration
 	E2E     time.Duration
+	// Deadline is the request's E2E budget (0 = none); goodput counts
+	// only finished requests with E2E within it.
+	Deadline time.Duration
 }
 
 // kvUtilEvery is the step stride for KV-utilization sampling (cheap
@@ -136,6 +151,10 @@ type Result struct {
 	Preemptions int
 	// EncoderRuns counts vision-encoder invocations (Fig. 18).
 	EncoderRuns int
+	// Shed counts requests the admission policy dropped at arrival.
+	Shed int
+	// Cancelled counts requests terminated by Cancel.
+	Cancelled int
 }
 
 type phase int
@@ -179,11 +198,23 @@ type Engine struct {
 	clock time.Duration
 	step  int
 
-	pending  []*run // not yet arrived (sorted by arrival)
-	waiting  []*run // arrived, not running
-	running  []*run
-	finished []*run
-	failed   []*run
+	pending   []*run // not yet arrived (sorted by arrival)
+	waiting   []*run // arrived, not running
+	running   []*run
+	finished  []*run
+	failed    []*run
+	shed      []*run // dropped by the admission policy at arrival
+	cancelled []*run // terminated by Cancel
+
+	// onEvent is the streaming sink (nil: no emission).
+	onEvent func(Event)
+	// drainRate is the device's compute-bound token rate (tokens per
+	// simulated second), the first-order term admission uses to
+	// estimate queueing delay.
+	drainRate float64
+	// kvSampledStep is the last step sampleKVUtil ran for, so the
+	// drain-time closing sample is never taken twice.
+	kvSampledStep int
 
 	totalPromptComputed int64
 	totalCachedTokens   int64
@@ -221,71 +252,33 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Device.Name == "" {
 		cfg.Device = gpu.H100()
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:  cfg,
 		cost: gpu.CostModel{Dev: cfg.Device, Spec: cfg.Spec},
-	}, nil
+	}
+	// 2 FLOPs per active parameter per token, compute-bound: the same
+	// first-order term the cost model charges per scheduled token.
+	if f := cfg.Device.FLOPS; f > 0 {
+		e.drainRate = f / (2 * float64(cfg.Spec.ActiveParamCount()))
+	}
+	return e, nil
 }
 
-// Run simulates serving the request set to completion. Run is
-// restartable: each call starts from a clean scheduler state, but the
-// Manager keeps whatever prefix cache earlier runs left behind, so
-// back-to-back runs model a warmed-up replica.
+// Run simulates serving the request set to completion: the batch
+// driver over the streaming core — every request is submitted up
+// front, then the core steps until drained. Run is restartable: each
+// call starts from a clean scheduler state, but the Manager keeps
+// whatever prefix cache earlier runs left behind, so back-to-back runs
+// model a warmed-up replica.
 func (e *Engine) Run(reqs []workload.Request) (*Result, error) {
 	e.reset()
 	for i := range reqs {
-		r := &reqs[i]
-		if r.OutputLen < 1 {
-			return nil, fmt.Errorf("engine: request %d has output length %d", r.ID, r.OutputLen)
-		}
-		e.pending = append(e.pending, &run{
-			req: r,
-			seq: &core.Sequence{ID: core.RequestID(r.ID), PromptLen: len(r.Prompt), Tokens: append([]core.Token{}, r.Prompt...)},
-		})
-		e.totalPromptTokens += int64(len(r.Prompt))
-	}
-	sort.SliceStable(e.pending, func(i, j int) bool {
-		return e.pending[i].req.Arrival < e.pending[j].req.Arrival
-	})
-
-	total := len(e.pending)
-	for len(e.finished)+len(e.failed) < total {
-		e.step++
-		if e.step > e.cfg.MaxSteps {
-			return nil, fmt.Errorf("engine: exceeded %d steps (stuck?)", e.cfg.MaxSteps)
-		}
-		e.admitArrivals()
-		if len(e.running) == 0 && len(e.waiting) == 0 && len(e.pending) > 0 {
-			e.clock = e.pending[0].req.Arrival
-			e.admitArrivals()
-		}
-		if e.step%5000 == 0 && debugSteps {
-			fmt.Printf("step %d clock %v running %d waiting %d pending %d finished %d failed %d stalls %d\n",
-				e.step, e.clock, len(e.running), len(e.waiting), len(e.pending), len(e.finished), len(e.failed), e.globalStalls)
-			for _, r := range e.running {
-				fmt.Printf("  run id=%d ph=%d computed=%d/%d decodes=%d/%d cachedHit=%d\n", r.req.ID, r.ph, r.computed, r.promptLen(), r.decodesDone, r.req.OutputLen, r.cachedHit)
-			}
-		}
-		progressed := e.runStep()
-		if progressed {
-			e.globalStalls = 0
-		} else {
-			e.globalStalls++
-			if !e.handleStall() {
-				return nil, fmt.Errorf("engine: no progress possible at step %d", e.step)
-			}
-		}
-		if e.cfg.SampleEvery > 0 && e.step%e.cfg.SampleEvery == 0 {
-			e.memTimeline = append(e.memTimeline, MemSample{Step: e.step, Clock: e.clock, Usage: e.cfg.Manager.Usage()})
-		}
-		if e.step%kvUtilEvery == 0 {
-			e.sampleKVUtil()
+		if err := e.Submit(&reqs[i]); err != nil {
+			return nil, err
 		}
 	}
-	// Final sample, unless the last step already took one (or nothing
-	// ran at all).
-	if e.step%kvUtilEvery != 0 {
-		e.sampleKVUtil()
+	if err := e.Drain(); err != nil {
+		return nil, err
 	}
 	return e.result(), nil
 }
@@ -300,6 +293,9 @@ func (e *Engine) reset() {
 	e.running = nil
 	e.finished = nil
 	e.failed = nil
+	e.shed = nil
+	e.cancelled = nil
+	e.kvSampledStep = 0
 	e.totalPromptComputed = 0
 	e.totalCachedTokens = 0
 	e.totalPromptTokens = 0
@@ -317,6 +313,7 @@ func (e *Engine) reset() {
 // sampleKVUtil records the fraction of KV capacity holding live or
 // cached KV.
 func (e *Engine) sampleKVUtil() {
+	e.kvSampledStep = e.step
 	capacity := e.cfg.Manager.Capacity()
 	if capacity <= 0 {
 		return
@@ -330,11 +327,27 @@ func (e *Engine) sampleKVUtil() {
 	}
 }
 
-// admitArrivals moves arrived requests into the waiting queue.
+// finishSampling takes the drain-time closing KV-utilization sample,
+// unless the last step already took one (or nothing ran at all).
+func (e *Engine) finishSampling() {
+	if e.step%kvUtilEvery != 0 && e.kvSampledStep != e.step {
+		e.sampleKVUtil()
+	}
+}
+
+// admitArrivals moves arrived requests into the waiting queue,
+// applying the admission policy at each request's arrival instant.
 func (e *Engine) admitArrivals() {
 	for len(e.pending) > 0 && e.pending[0].req.Arrival <= e.clock {
-		e.waiting = append(e.waiting, e.pending[0])
+		r := e.pending[0]
 		e.pending = e.pending[1:]
+		if e.cfg.Admission != nil && e.cfg.Admission.Decide(r.req, e.admissionState(r)) == Shed {
+			e.shed = append(e.shed, r)
+			e.emit(EventShed, r)
+			continue
+		}
+		e.waiting = append(e.waiting, r)
+		e.emit(EventQueued, r)
 	}
 }
 
@@ -397,7 +410,8 @@ func (e *Engine) runStep() bool {
 	}
 	for budget > 0 && len(e.waiting) > 0 && len(e.running) < e.cfg.MaxRunning &&
 		prefills < e.cfg.MaxPrefills {
-		r := e.waiting[0]
+		idx := e.pickWaiting()
+		r := e.waiting[idx]
 		u := e.cfg.Manager.Usage()
 		watermark := e.cfg.Manager.Capacity() / 100
 		if e.cfg.Manager.Footprint(r.seq) > u.Free+u.Cached-watermark {
@@ -405,7 +419,11 @@ func (e *Engine) runStep() bool {
 		}
 		prefills++
 		e.running = append(e.running, r)
-		e.waiting = e.waiting[1:]
+		if idx == 0 {
+			e.waiting = e.waiting[1:]
+		} else {
+			e.waiting = append(e.waiting[:idx], e.waiting[idx+1:]...)
+		}
 		if !r.started {
 			r.started = true
 		}
@@ -449,6 +467,7 @@ func (e *Engine) runStep() bool {
 				r.ph = phaseDecode
 				if r.firstToken == 0 {
 					r.firstToken = e.clock
+					e.emit(EventFirstToken, r)
 				}
 				if r.req.OutputLen == 1 {
 					e.finishRun(r)
@@ -458,6 +477,7 @@ func (e *Engine) runStep() bool {
 			r.computed = r.pendingTarget
 			r.decodesDone++
 			e.totalGenerated++
+			e.emit(EventToken, r)
 			if r.decodesDone >= r.req.OutputLen-1 {
 				e.finishRun(r)
 			}
@@ -575,8 +595,9 @@ func (e *Engine) reserveWithPreemption(r *run, upTo int, now core.Tick) bool {
 	}
 }
 
-// preemptionVictim picks the latest-arrived running sequence other
-// than r (vLLM evicts from the tail). Sequences already scheduled in
+// preemptionVictim picks the lowest-priority, then latest-arrived
+// running sequence other than r (vLLM evicts from the tail; priority
+// shields higher-priority requests). Sequences already scheduled in
 // the current step are immune — their commits are in flight.
 func (e *Engine) preemptionVictim(r *run) *run {
 	var victim *run
@@ -584,11 +605,25 @@ func (e *Engine) preemptionVictim(r *run) *run {
 		if c == r || c.scheduledStep == e.step {
 			continue
 		}
-		if victim == nil || c.req.Arrival > victim.req.Arrival {
+		if victim == nil || c.req.Priority < victim.req.Priority ||
+			(c.req.Priority == victim.req.Priority && c.req.Arrival > victim.req.Arrival) {
 			victim = c
 		}
 	}
 	return victim
+}
+
+// pickWaiting returns the index of the next admission candidate: the
+// highest-priority waiting request, FIFO within a priority level (so
+// the default all-zero priorities preserve strict arrival order).
+func (e *Engine) pickWaiting() int {
+	best := 0
+	for i := 1; i < len(e.waiting); i++ {
+		if e.waiting[i].req.Priority > e.waiting[best].req.Priority {
+			best = i
+		}
+	}
+	return best
 }
 
 // preempt releases a sequence's memory and requeues it for recompute.
@@ -601,6 +636,7 @@ func (e *Engine) preempt(victim *run) {
 	e.preemptions++
 	e.removeRunning(victim)
 	e.waiting = append([]*run{victim}, e.waiting...)
+	e.emit(EventPreempted, victim)
 }
 
 // handleStall resolves a step that scheduled nothing. Returns false if
@@ -613,12 +649,17 @@ func (e *Engine) handleStall() bool {
 		return true
 	}
 	// A waiting request that cannot start even on an idle engine can
-	// never run (the Ministral-on-L4 vLLM failure): fail it.
+	// never run (the Ministral-on-L4 vLLM failure): fail it. The
+	// candidate is the one admission actually tried — pickWaiting's
+	// choice — not blindly waiting[0], or a stuck high-priority
+	// request would sink every fitting request queued behind it.
 	if len(e.running) == 0 && len(e.waiting) > 0 {
-		r := e.waiting[0]
-		e.waiting = e.waiting[1:]
+		idx := e.pickWaiting()
+		r := e.waiting[idx]
+		e.waiting = append(e.waiting[:idx], e.waiting[idx+1:]...)
 		e.cfg.Manager.Release(r.seq, false)
 		e.failed = append(e.failed, r)
+		e.emit(EventFailed, r)
 		e.globalStalls = 0
 		if debugSteps {
 			u := e.cfg.Manager.Usage()
@@ -651,6 +692,7 @@ func (e *Engine) handleStall() bool {
 	e.cfg.Manager.Release(worst.seq, false)
 	e.removeRunning(worst)
 	e.failed = append(e.failed, worst)
+	e.emit(EventFailed, worst)
 	e.globalStalls = 0
 	return true
 }
@@ -660,6 +702,7 @@ func (e *Engine) finishRun(r *run) {
 	e.cfg.Manager.Release(r.seq, true)
 	e.removeRunning(r)
 	e.finished = append(e.finished, r)
+	e.emit(EventFinished, r)
 }
 
 func (e *Engine) removeRunning(r *run) {
@@ -722,6 +765,8 @@ func (e *Engine) result() *Result {
 		Steps:                e.step,
 		Finished:             len(e.finished),
 		Failed:               len(e.failed),
+		Shed:                 len(e.shed),
+		Cancelled:            len(e.cancelled),
 		Preemptions:          e.preemptions,
 		EncoderRuns:          e.encoderRuns,
 		CachedPromptTokens:   e.totalCachedTokens,
@@ -750,10 +795,11 @@ func (e *Engine) result() *Result {
 		ttft += r.firstToken - r.req.Arrival
 		e2e += r.finish - r.req.Arrival
 		res.PerRequest = append(res.PerRequest, RequestMetrics{
-			ID:      r.req.ID,
-			Arrival: r.req.Arrival,
-			TTFT:    r.firstToken - r.req.Arrival,
-			E2E:     r.finish - r.req.Arrival,
+			ID:       r.req.ID,
+			Arrival:  r.req.Arrival,
+			TTFT:     r.firstToken - r.req.Arrival,
+			E2E:      r.finish - r.req.Arrival,
+			Deadline: r.req.Deadline,
 		})
 		if r.req.OutputLen > 1 {
 			tpot += (r.finish - r.firstToken) / time.Duration(r.req.OutputLen-1)

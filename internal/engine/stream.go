@@ -1,0 +1,400 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jenga/internal/core"
+	"jenga/internal/workload"
+)
+
+// This file is the engine's event-driven streaming core: the push-event
+// API (Submit / Cancel / StepOnce / events) that online serving layers
+// drive directly. Engine.Run is a thin batch driver over it — submit
+// everything, step until drained — so batch and online serving share
+// one scheduler with identical deterministic behavior.
+//
+// The core stays goroutine-confined: Submit, Cancel, StepOnce and
+// Snapshot must all be called from the goroutine (or under the lock)
+// that owns the engine. internal/serve wraps one engine in a
+// mutex-guarded Server for concurrent online use.
+
+// EventType classifies a scheduler event.
+type EventType int
+
+const (
+	// EventQueued: the request's arrival time was reached and admission
+	// accepted it into the waiting queue.
+	EventQueued EventType = iota
+	// EventFirstToken: prefill completed and the first output token
+	// exists (the TTFT instant). Emitted once per request — a recompute
+	// pass after preemption does not re-emit it.
+	EventFirstToken
+	// EventToken: one decode step produced one output token.
+	EventToken
+	// EventPreempted: the request lost its KV to a higher-priority (or
+	// earlier-arrived) request and was requeued for recompute.
+	EventPreempted
+	// EventFinished: the request produced its full output (terminal).
+	EventFinished
+	// EventFailed: the request can never run (its context exceeds
+	// capacity on an idle engine) and was dropped (terminal).
+	EventFailed
+	// EventShed: the admission policy rejected the request at its
+	// arrival instant (terminal).
+	EventShed
+	// EventCancelled: Cancel released the request's KV mid-flight
+	// (terminal).
+	EventCancelled
+)
+
+// String names the event type for logs and traces.
+func (t EventType) String() string {
+	switch t {
+	case EventQueued:
+		return "queued"
+	case EventFirstToken:
+		return "first_token"
+	case EventToken:
+		return "token"
+	case EventPreempted:
+		return "preempted"
+	case EventFinished:
+		return "finished"
+	case EventFailed:
+		return "failed"
+	case EventShed:
+		return "shed"
+	case EventCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// Terminal reports whether the event ends its request's lifecycle.
+func (t EventType) Terminal() bool {
+	switch t {
+	case EventFinished, EventFailed, EventShed, EventCancelled:
+		return true
+	}
+	return false
+}
+
+// Event is one scheduler occurrence for one request. Events for a
+// given request are emitted in lifecycle order: EventQueued, then
+// EventFirstToken, then EventToken (once per decode), interleaved with
+// EventPreempted, and exactly one terminal event last. Events are
+// emitted synchronously from StepOnce on the engine's goroutine.
+type Event struct {
+	// Type classifies the event.
+	Type EventType
+	// ID is the request's ID.
+	ID int64
+	// Step is the scheduler step that produced the event.
+	Step int
+	// Clock is the simulated time of the event.
+	Clock time.Duration
+	// Generated is the number of output tokens produced so far
+	// (includes the first token).
+	Generated int
+}
+
+// Snapshot is the live scheduler state online layers (admission,
+// routers, autoscalers) decide on.
+type Snapshot struct {
+	// Clock and Step are the simulation position.
+	Clock time.Duration
+	Step  int
+	// Pending, Waiting and Running are queue depths: not yet arrived,
+	// arrived but not scheduled, and actively scheduled.
+	Pending, Waiting, Running int
+	// OutstandingTokens is the admitted-but-unserved work: remaining
+	// prompt plus remaining output tokens over every live request.
+	OutstandingTokens int64
+	// Usage is the manager's live memory accounting.
+	Usage core.Usage
+	// Capacity is the manager's total KV bytes.
+	Capacity int64
+}
+
+// AdmissionState is the live state an AdmissionPolicy decides on when
+// a request's arrival time is reached.
+type AdmissionState struct {
+	// Clock and Step are the simulation position.
+	Clock time.Duration
+	Step  int
+	// Usage and Capacity are the manager's live memory accounting.
+	Usage    core.Usage
+	Capacity int64
+	// Queued and Running are the current queue depths.
+	Queued, Running int
+	// Footprint is the manager's steady-state KV demand estimate for
+	// the candidate request.
+	Footprint int64
+	// EstTTFT is a first-order queueing estimate of the candidate's
+	// time to first token: prompt tokens queued ahead of it (plus its
+	// own) at the device's compute-bound token rate.
+	EstTTFT time.Duration
+}
+
+// AdmissionDecision is an AdmissionPolicy verdict.
+type AdmissionDecision int
+
+const (
+	// Admit queues the request for scheduling.
+	Admit AdmissionDecision = iota
+	// Shed drops the request now (terminal EventShed) rather than
+	// letting it miss its SLO or thrash memory.
+	Shed
+)
+
+// AdmissionPolicy decides, at each request's arrival instant, whether
+// the engine queues or sheds it. Policies see live memory usage and
+// queue state; a nil policy admits everything (the pre-streaming
+// behavior). Decide is called on the engine goroutine and must not
+// retain state.
+type AdmissionPolicy interface {
+	// Name identifies the policy in results and flags.
+	Name() string
+	// Decide returns the verdict for req given the live state.
+	Decide(req *workload.Request, s AdmissionState) AdmissionDecision
+}
+
+// SetEventSink installs fn as the engine's event callback. fn is
+// invoked synchronously during StepOnce/Cancel; it must not call back
+// into the engine. A nil fn disables emission (the default).
+func (e *Engine) SetEventSink(fn func(Event)) { e.onEvent = fn }
+
+// emit sends one event for r to the sink, if installed.
+func (e *Engine) emit(t EventType, r *run) {
+	if e.onEvent == nil {
+		return
+	}
+	gen := 0
+	if r.firstToken > 0 {
+		gen = 1 + r.decodesDone
+	}
+	e.onEvent(Event{Type: t, ID: r.req.ID, Step: e.step, Clock: e.clock, Generated: gen})
+}
+
+// Reset returns the scheduler to a clean state for a new online
+// session. As with Run, the manager keeps its prefix cache, so a reset
+// server models a warmed-up replica.
+func (e *Engine) Reset() { e.reset() }
+
+// Live reports whether any submitted request has not yet reached a
+// terminal state.
+func (e *Engine) Live() bool {
+	return len(e.pending)+len(e.waiting)+len(e.running) > 0
+}
+
+// Clock returns the current simulated time.
+func (e *Engine) Clock() time.Duration { return e.clock }
+
+// Snapshot returns the live scheduler state.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Clock:    e.clock,
+		Step:     e.step,
+		Pending:  len(e.pending),
+		Waiting:  len(e.waiting),
+		Running:  len(e.running),
+		Usage:    e.cfg.Manager.Usage(),
+		Capacity: e.cfg.Manager.Capacity(),
+	}
+	for _, r := range e.pending {
+		s.OutstandingTokens += int64(r.promptLen() + r.req.OutputLen)
+	}
+	for _, r := range e.waiting {
+		s.OutstandingTokens += int64(r.promptLen() + r.req.OutputLen)
+	}
+	for _, r := range e.running {
+		remPrompt := len(r.seq.Tokens) - r.computed
+		if remPrompt < 0 {
+			remPrompt = 0
+		}
+		remOut := r.req.OutputLen - 1 - r.decodesDone
+		if remOut < 0 {
+			remOut = 0
+		}
+		s.OutstandingTokens += int64(remPrompt + remOut)
+	}
+	return s
+}
+
+// Submit enqueues one request into the streaming core. The request
+// joins the arrival queue at req.Arrival (which may be in the
+// simulated past — it is then admitted on the next step). The engine
+// retains req; callers must not mutate it afterwards. IDs must be
+// unique among live requests.
+func (e *Engine) Submit(req *workload.Request) error {
+	if req.OutputLen < 1 {
+		return fmt.Errorf("engine: request %d has output length %d", req.ID, req.OutputLen)
+	}
+	r := &run{
+		req: req,
+		seq: &core.Sequence{ID: core.RequestID(req.ID), PromptLen: len(req.Prompt), Tokens: append([]core.Token{}, req.Prompt...)},
+	}
+	// Stable insert by arrival: after existing entries with arrival
+	// ≤ req.Arrival, so submission order breaks ties exactly like the
+	// batch driver's stable sort.
+	i := sort.Search(len(e.pending), func(i int) bool { return e.pending[i].req.Arrival > req.Arrival })
+	e.pending = append(e.pending, nil)
+	copy(e.pending[i+1:], e.pending[i:])
+	e.pending[i] = r
+	e.totalPromptTokens += int64(len(req.Prompt))
+	return nil
+}
+
+// Cancel terminates the request with the given ID wherever it is in
+// the lifecycle, releasing all KV it holds. Fully committed pages
+// return to the evictable prefix cache (exactly as on normal
+// completion), so cancellation never corrupts the cache; everything
+// else returns to the free pool. Reports whether the ID was live.
+func (e *Engine) Cancel(id int64) bool {
+	for i, r := range e.pending {
+		if r.req.ID == id {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			e.cancelled = append(e.cancelled, r)
+			e.emit(EventCancelled, r)
+			return true
+		}
+	}
+	for i, r := range e.waiting {
+		if r.req.ID == id {
+			e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+			// Waiting requests hold no pages (admission is
+			// all-or-nothing), but mirror the stall path's defensive
+			// release.
+			e.cfg.Manager.Release(r.seq, false)
+			e.cancelled = append(e.cancelled, r)
+			e.emit(EventCancelled, r)
+			return true
+		}
+	}
+	for _, r := range e.running {
+		if r.req.ID == id {
+			e.cfg.Manager.Release(r.seq, true)
+			e.removeRunning(r)
+			e.cancelled = append(e.cancelled, r)
+			e.emit(EventCancelled, r)
+			return true
+		}
+	}
+	return false
+}
+
+// StepOnce advances the simulation by one scheduler step: admit
+// arrivals (shedding per the admission policy), schedule and execute
+// one batch, advance the clock, emit events. Callers must check Live
+// first; stepping an empty engine is an error.
+func (e *Engine) StepOnce() error {
+	e.step++
+	if e.step > e.cfg.MaxSteps {
+		return fmt.Errorf("engine: exceeded %d steps (stuck?)", e.cfg.MaxSteps)
+	}
+	e.admitArrivals()
+	if len(e.running) == 0 && len(e.waiting) == 0 && len(e.pending) > 0 {
+		e.clock = e.pending[0].req.Arrival
+		e.admitArrivals()
+	}
+	if e.step%5000 == 0 && debugSteps {
+		fmt.Printf("step %d clock %v running %d waiting %d pending %d finished %d failed %d stalls %d\n",
+			e.step, e.clock, len(e.running), len(e.waiting), len(e.pending), len(e.finished), len(e.failed), e.globalStalls)
+		for _, r := range e.running {
+			fmt.Printf("  run id=%d ph=%d computed=%d/%d decodes=%d/%d cachedHit=%d\n", r.req.ID, r.ph, r.computed, r.promptLen(), r.decodesDone, r.req.OutputLen, r.cachedHit)
+		}
+	}
+	progressed := e.runStep()
+	switch {
+	case progressed:
+		e.globalStalls = 0
+	case !e.Live():
+		// Everything drained mid-step (the admission policy shed the
+		// last arrivals): not a stall.
+		e.globalStalls = 0
+	default:
+		e.globalStalls++
+		if !e.handleStall() {
+			return fmt.Errorf("engine: no progress possible at step %d", e.step)
+		}
+	}
+	if e.cfg.SampleEvery > 0 && e.step%e.cfg.SampleEvery == 0 {
+		e.memTimeline = append(e.memTimeline, MemSample{Step: e.step, Clock: e.clock, Usage: e.cfg.Manager.Usage()})
+	}
+	if e.step%kvUtilEvery == 0 {
+		e.sampleKVUtil()
+	}
+	return nil
+}
+
+// AdvanceTo steps the simulation until the clock reaches t or no
+// schedulable work remains before t; an idle engine jumps straight to
+// t. Online drivers use it to align replicas to an arrival instant
+// before routing against their live state.
+func (e *Engine) AdvanceTo(t time.Duration) error {
+	for e.Live() && e.clock < t {
+		if len(e.running) == 0 && len(e.waiting) == 0 && e.pending[0].req.Arrival > t {
+			break
+		}
+		if err := e.StepOnce(); err != nil {
+			return err
+		}
+	}
+	if e.clock < t {
+		e.clock = t
+	}
+	return nil
+}
+
+// Drain steps the simulation until every live request terminates,
+// then closes out KV-utilization sampling. The counterpart of Run's
+// main loop for online sessions.
+func (e *Engine) Drain() error {
+	for e.Live() {
+		if err := e.StepOnce(); err != nil {
+			return err
+		}
+	}
+	e.finishSampling()
+	return nil
+}
+
+// FinishSampling takes the drain-time closing KV-utilization sample.
+// Idempotent per step; drivers that step the core themselves (instead
+// of calling Drain) call it once the last request terminates, so their
+// MeanKVUtil matches the batch driver's exactly.
+func (e *Engine) FinishSampling() { e.finishSampling() }
+
+// ResultSnapshot assembles the metrics accumulated so far — for online
+// sessions, the aggregate over every terminated request at this
+// instant. Batch Run returns the same structure at drain time.
+func (e *Engine) ResultSnapshot() *Result { return e.result() }
+
+// admissionState builds the policy input for candidate r.
+func (e *Engine) admissionState(r *run) AdmissionState {
+	s := AdmissionState{
+		Clock:     e.clock,
+		Step:      e.step,
+		Usage:     e.cfg.Manager.Usage(),
+		Capacity:  e.cfg.Manager.Capacity(),
+		Queued:    len(e.waiting),
+		Running:   len(e.running),
+		Footprint: e.cfg.Manager.Footprint(r.seq),
+	}
+	if e.drainRate > 0 {
+		ahead := int64(r.promptLen())
+		for _, w := range e.waiting {
+			ahead += int64(w.promptLen())
+		}
+		for _, c := range e.running {
+			if rem := len(c.seq.Tokens) - c.computed; rem > 0 {
+				ahead += int64(rem)
+			}
+		}
+		s.EstTTFT = time.Duration(float64(ahead) / e.drainRate * float64(time.Second))
+	}
+	return s
+}

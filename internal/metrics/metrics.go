@@ -44,6 +44,41 @@ func Percentile(xs []time.Duration, p float64) time.Duration {
 	return cp[idx]
 }
 
+// Attainment returns the fraction of xs at or below target — SLO
+// attainment over a latency sample. Empty input or a non-positive
+// target returns 1 (a vacuous SLO is met).
+func Attainment(xs []time.Duration, target time.Duration) float64 {
+	if len(xs) == 0 || target <= 0 {
+		return 1
+	}
+	met := 0
+	for _, x := range xs {
+		if x <= target {
+			met++
+		}
+	}
+	return float64(met) / float64(len(xs))
+}
+
+// Goodput returns useful completions per second of d: finishes that
+// met their deadline, over the serving duration. Zero duration is
+// zero goodput.
+func Goodput(metDeadline int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(metDeadline) / d.Seconds()
+}
+
+// Fraction returns part/whole, 0 when whole is 0 — shed rate, failure
+// rate and similar count ratios.
+func Fraction(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
 // Speedup returns a/b, guarding against division by zero.
 func Speedup(a, b float64) float64 {
 	if b == 0 {

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"jenga/internal/core"
+	"jenga/internal/engine"
+	"jenga/internal/gpu"
+	"jenga/internal/model"
+	"jenga/internal/workload"
+)
+
+func testSpec() *model.Spec {
+	return &model.Spec{
+		Name: "serve-test", Params: 100_000_000, WeightBytes: 2, HiddenSize: 256,
+		Groups: []model.KVGroup{
+			{Name: "full", Kind: model.FullAttention, Layers: 4, BytesPerToken: 256},
+		},
+	}
+}
+
+func testDevice() gpu.Device {
+	return gpu.Device{Name: "test-gpu", MemBytes: 1 << 30, FLOPS: 50e12, MemBW: 500e9,
+		StepOverhead: time.Millisecond}
+}
+
+func testServer(t *testing.T, capacity int64, cache bool, cfg Config) *Server {
+	t.Helper()
+	mgr, err := core.New(core.Config{
+		Spec: testSpec(), CapacityBytes: capacity, TokensPerPage: 8,
+		EnablePrefixCache: cache, RequestAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine.Spec = testSpec()
+	cfg.Engine.Device = testDevice()
+	cfg.Engine.Manager = mgr
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testReqs(seed int64, n, promptLen, outLen int) []workload.Request {
+	g := workload.NewGen(seed)
+	reqs := g.ShareGPT(n)
+	for i := range reqs {
+		if len(reqs[i].Prompt) > promptLen {
+			reqs[i].Prompt = reqs[i].Prompt[:promptLen]
+		}
+		reqs[i].OutputLen = outLen
+		reqs[i].Arrival = 0
+	}
+	return reqs
+}
+
+// TestServerStreamsTokens submits a few requests and checks that each
+// stream carries its full token sequence in order and terminates
+// Finished, and that the report adds up.
+func TestServerStreamsTokens(t *testing.T) {
+	s := testServer(t, 64<<20, false, Config{})
+	const out = 12
+	reqs := testReqs(1, 4, 200, out)
+	streams := make([]*Stream, 0, len(reqs))
+	for _, r := range reqs {
+		st, err := s.Submit(context.Background(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, st)
+	}
+	for _, st := range streams {
+		gen, last := 0, 0
+		for ev := range st.Events() {
+			switch ev.Type {
+			case engine.EventFirstToken, engine.EventToken:
+				if ev.Generated != last+1 {
+					t.Fatalf("stream %d: token %d after %d", st.ID(), ev.Generated, last)
+				}
+				last = ev.Generated
+				gen = ev.Generated
+			}
+		}
+		res, ok := st.Result()
+		if !ok {
+			t.Fatalf("stream %d: no result after channel close", st.ID())
+		}
+		if res.State != StateFinished || res.Generated != out || gen != out {
+			t.Fatalf("stream %d: state %v generated %d/%d, want finished %d", st.ID(), res.State, res.Generated, gen, out)
+		}
+		if res.TTFT <= 0 || res.E2E < res.TTFT {
+			t.Fatalf("stream %d: latencies inconsistent: %+v", st.ID(), res)
+		}
+		if st.Dropped() != 0 {
+			t.Fatalf("stream %d: dropped %d events despite full consumption", st.ID(), st.Dropped())
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.Finished != 4 || rep.Submitted != 4 || rep.Live != 0 {
+		t.Fatalf("report %+v, want 4 finished of 4", rep)
+	}
+	if rep.ReqPerSec <= 0 || rep.P99E2E < rep.P50E2E {
+		t.Fatalf("report stats inconsistent: %+v", rep)
+	}
+}
+
+// TestServerContextCancelReleasesKV cancels one stream mid-generation
+// via its context and checks the KV returns and the other stream
+// completes untouched.
+func TestServerContextCancelReleasesKV(t *testing.T) {
+	s := testServer(t, 64<<20, false, Config{})
+	pre := s.Snapshot().Usage
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	victimReq := testReqs(5, 1, 400, 50_000)[0]
+	victimReq.ID = 101
+	victim, err := s.Submit(ctx, victimReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bystanderReq := testReqs(6, 1, 300, 16)[0]
+	bystanderReq.ID = 102
+	bystander, err := s.Submit(context.Background(), bystanderReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the victim is mid-generation, then cancel its context.
+	seen := 0
+	for ev := range victim.Events() {
+		if ev.Type == engine.EventToken {
+			seen = ev.Generated
+		}
+		if seen >= 8 {
+			cancel()
+			break
+		}
+	}
+	res, err := victim.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != StateCancelled {
+		t.Fatalf("victim state %v, want cancelled", res.State)
+	}
+	if res.Generated < 8 || res.Generated >= 50_000 {
+		t.Fatalf("victim generated %d, want mid-generation", res.Generated)
+	}
+	if bres, err := bystander.Wait(context.Background()); err != nil || bres.State != StateFinished {
+		t.Fatalf("bystander %+v err %v, want finished", bres, err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	u := s.Snapshot().Usage
+	if u.Used != pre.Used || u.Wasted != pre.Wasted {
+		t.Errorf("cancelled stream leaked KV: pre %+v post %+v", pre, u)
+	}
+	rep := s.Report()
+	if rep.Cancelled != 1 || rep.Finished != 1 {
+		t.Fatalf("report %+v, want 1 cancelled 1 finished", rep)
+	}
+}
+
+// TestServerBackpressure: with MaxQueue 2 and a paused scheduler, the
+// third submission bounces with ErrQueueFull; after close, ErrClosed.
+func TestServerBackpressure(t *testing.T) {
+	s := testServer(t, 64<<20, false, Config{MaxQueue: 2})
+	s.Pause()
+	reqs := testReqs(7, 3, 100, 4)
+	if _, err := s.Submit(context.Background(), reqs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), reqs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), reqs[2]); err != ErrQueueFull {
+		t.Fatalf("third submit: %v, want ErrQueueFull", err)
+	}
+	s.Resume()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), reqs[2]); err != ErrClosed {
+		t.Fatalf("submit after drain: %v, want ErrClosed", err)
+	}
+	if rep := s.Report(); rep.Finished != 2 {
+		t.Fatalf("report %+v, want 2 finished", rep)
+	}
+}
+
+// TestServerShedStreams: an admission policy on the wrapped engine
+// sheds an impossible request; its stream terminates StateShed.
+func TestServerShedStreams(t *testing.T) {
+	s := testServer(t, 1<<20, false, Config{
+		Engine: engine.Config{Admission: engine.KVAdmission{}},
+	})
+	huge := testReqs(8, 1, 100, 4)[0]
+	for len(huge.Prompt) < 40_000 {
+		huge.Prompt = append(huge.Prompt, huge.Prompt...)
+	}
+	st, err := s.Submit(context.Background(), huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != StateShed {
+		t.Fatalf("state %v, want shed", res.State)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.Shed != 1 || rep.ShedRate != 1 {
+		t.Fatalf("report %+v, want shed 1 rate 1", rep)
+	}
+}
+
+// TestCancelAfterIsDeterministic: CancelAfter(n) terminates the stream
+// with exactly n tokens generated, however fast the pump runs.
+func TestCancelAfterIsDeterministic(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		s := testServer(t, 64<<20, false, Config{})
+		st, err := s.Submit(context.Background(), testReqs(21, 1, 200, 100_000)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.CancelAfter(24)
+		res, err := st.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.State != StateCancelled || res.Generated != 24 {
+			t.Fatalf("run %d: state %v generated %d, want cancelled at exactly 24", i, res.State, res.Generated)
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if u := s.Snapshot().Usage; u.Used != 0 {
+			t.Fatalf("run %d: leaked KV: %+v", i, u)
+		}
+	}
+}
+
+// TestServerClose cancels live streams and refuses new work.
+func TestServerClose(t *testing.T) {
+	s := testServer(t, 64<<20, false, Config{})
+	st, err := s.Submit(context.Background(), testReqs(9, 1, 400, 50_000)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it start.
+	for ev := range st.Events() {
+		if ev.Type == engine.EventFirstToken {
+			break
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := st.Result()
+	if !ok || res.State != StateCancelled {
+		t.Fatalf("stream after Close: %+v ok=%v, want cancelled", res, ok)
+	}
+}
+
+// TestBatchOnlineEquivalence: pausing the server, submitting a full
+// seeded workload and resuming reproduces Engine.Run's aggregate
+// numbers exactly — batch mode really is a thin driver over the same
+// core the online server pumps.
+func TestBatchOnlineEquivalence(t *testing.T) {
+	gen := func() []workload.Request {
+		g := workload.NewGen(42)
+		reqs := g.PrefixGroups(5, 10, 320, 64)
+		g.PoissonArrivals(reqs, 200)
+		return reqs
+	}
+
+	// Batch reference.
+	mgr, err := core.New(core.Config{
+		Spec: testSpec(), CapacityBytes: 16 << 20, TokensPerPage: 8,
+		EnablePrefixCache: true, RequestAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(engine.Config{Spec: testSpec(), Device: testDevice(), Manager: mgr, MaxBatchTokens: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Run(gen())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Online drive of the identical workload.
+	s := testServer(t, 16<<20, true, Config{Engine: engine.Config{MaxBatchTokens: 512}})
+	s.Pause()
+	for _, r := range gen() {
+		if _, err := s.Submit(context.Background(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Resume()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.EngineResult()
+	if got.Steps != want.Steps || got.Duration != want.Duration ||
+		got.Finished != want.Finished || got.Failed != want.Failed ||
+		got.CachedPromptTokens != want.CachedPromptTokens ||
+		got.ComputedPromptTokens != want.ComputedPromptTokens ||
+		got.GeneratedTokens != want.GeneratedTokens ||
+		got.MeanTTFT != want.MeanTTFT || got.MeanE2E != want.MeanE2E ||
+		got.HitRate != want.HitRate || got.MeanKVUtil != want.MeanKVUtil {
+		t.Errorf("online drive diverged from batch:\n got  %+v\n want %+v", got, want)
+	}
+}

@@ -30,6 +30,15 @@ type Request struct {
 	// OutputLen is the number of tokens to generate (the engine runs
 	// with the paper's --ignore-eos semantics: exactly this many).
 	OutputLen int
+	// Deadline is an end-to-end latency budget relative to Arrival
+	// (0 = none). SLO-aware admission sheds requests whose estimated
+	// queueing already exceeds it, and goodput counts only requests
+	// that finish within it.
+	Deadline time.Duration
+	// Priority breaks FIFO ties in scheduling: higher-priority
+	// requests are admitted from the waiting queue first and preempted
+	// last. The default 0 everywhere preserves strict arrival order.
+	Priority int
 }
 
 // PromptImages counts image tokens in the prompt.
@@ -281,6 +290,27 @@ func (g *Gen) PoissonArrivals(reqs []Request, ratePerSec float64) {
 		gap := g.rng.ExpFloat64() / ratePerSec
 		t += gap
 		reqs[i].Arrival = time.Duration(t * float64(time.Second))
+	}
+}
+
+// JitterArrivals perturbs each arrival by an independent uniform
+// offset in [0, maxJitter) — client-side scheduling noise layered over
+// any arrival process. The engine orders submissions by arrival
+// itself, so jittered streams need no re-sort.
+func (g *Gen) JitterArrivals(reqs []Request, maxJitter time.Duration) {
+	if maxJitter <= 0 {
+		return
+	}
+	for i := range reqs {
+		reqs[i].Arrival += time.Duration(g.rng.Int63n(int64(maxJitter)))
+	}
+}
+
+// SetDeadlines assigns every request the same end-to-end latency
+// budget (SLO-aware admission and goodput accounting read it).
+func SetDeadlines(reqs []Request, d time.Duration) {
+	for i := range reqs {
+		reqs[i].Deadline = d
 	}
 }
 

@@ -13,11 +13,19 @@
 //     paper compares against; both implement Manager.
 //   - NewEngine runs a continuous-batching serving simulation over any
 //     Manager, on a simulated Device, with workloads from NewWorkloadGen.
+//     The engine is an event-driven streaming core; Engine.Run is its
+//     batch driver.
+//   - NewServer wraps an engine as an online serving surface: Submit
+//     returns a per-request Stream of token/finish/preempt events,
+//     contexts cancel mid-generation (releasing all KV), a bounded
+//     queue applies backpressure, and pluggable AdmissionPolicy sheds
+//     by KV demand or SLO estimates.
 //   - NewSpeculative drives two-model speculative decoding over shared
 //     or split heaps.
 //   - NewCluster scales serving out to N engine replicas behind a
 //     pluggable request router (round-robin, least-loaded,
-//     prefix-affinity).
+//     prefix-affinity); Serve is the deterministic batch path,
+//     ServeOnline routes each arrival against live replica state.
 //
 // Quick start:
 //
@@ -44,6 +52,7 @@ import (
 	"jenga/internal/engine"
 	"jenga/internal/gpu"
 	"jenga/internal/model"
+	"jenga/internal/serve"
 	"jenga/internal/spec"
 	"jenga/internal/workload"
 )
@@ -169,6 +178,85 @@ const (
 // NewEngine builds a serving simulation.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 
+// Online serving surface (event-driven Server/Stream over the engine's
+// streaming core).
+type (
+	// ServerConfig configures NewServer (wrapped engine config, queue
+	// bound, TTFT target).
+	ServerConfig = serve.Config
+	// Server is the concurrent online serving surface over one engine
+	// replica.
+	Server = serve.Server
+	// Stream is the per-request handle Submit returns; its channel
+	// carries the request's scheduler events.
+	Stream = serve.Stream
+	// StreamResult is a stream's terminal record (state, TTFT, E2E,
+	// tokens generated).
+	StreamResult = serve.StreamResult
+	// StreamState is a stream's terminal state.
+	StreamState = serve.StreamState
+	// ServingReport is the server-level scorecard (goodput, SLO
+	// attainment, shed rate, latency percentiles).
+	ServingReport = serve.Report
+	// Event is one scheduler occurrence for one request.
+	Event = engine.Event
+	// EventType classifies an Event.
+	EventType = engine.EventType
+	// EngineSnapshot is the live scheduler state (queue depths, memory
+	// usage) admission and routing decide on.
+	EngineSnapshot = engine.Snapshot
+	// AdmissionPolicy decides queue-versus-shed at each arrival.
+	AdmissionPolicy = engine.AdmissionPolicy
+	// AdmissionState is the live state an AdmissionPolicy sees.
+	AdmissionState = engine.AdmissionState
+	// AdmissionDecision is an AdmissionPolicy verdict.
+	AdmissionDecision = engine.AdmissionDecision
+	// KVAdmission sheds by estimated KV demand versus live usage.
+	KVAdmission = engine.KVAdmission
+	// SLOAdmission sheds when queueing estimates bust the TTFT target
+	// or the request's own deadline.
+	SLOAdmission = engine.SLOAdmission
+)
+
+// Stream event types and lifecycle states.
+const (
+	EventQueued     = engine.EventQueued
+	EventFirstToken = engine.EventFirstToken
+	EventToken      = engine.EventToken
+	EventPreempted  = engine.EventPreempted
+	EventFinished   = engine.EventFinished
+	EventFailed     = engine.EventFailed
+	EventShed       = engine.EventShed
+	EventCancelled  = engine.EventCancelled
+
+	AdmitRequest = engine.Admit
+	ShedRequest  = engine.Shed
+
+	StreamActive    = serve.StateActive
+	StreamFinished  = serve.StateFinished
+	StreamFailed    = serve.StateFailed
+	StreamShed      = serve.StateShed
+	StreamCancelled = serve.StateCancelled
+)
+
+// ErrQueueFull (backpressure) and ErrServerClosed are Submit errors.
+var (
+	ErrQueueFull    = serve.ErrQueueFull
+	ErrServerClosed = serve.ErrClosed
+)
+
+// NewServer builds an online serving surface over one engine replica
+// and starts its scheduler.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// AdmitAll, AdmissionChain and ParseAdmission build admission
+// policies; ParseAdmission converts flag spellings ("kv+slo").
+var (
+	AdmitAll       = engine.AdmitAll
+	AdmissionChain = engine.AdmissionChain
+	ParseAdmission = engine.ParseAdmission
+)
+
 // Cluster serving surface (scale-out: N engine replicas behind a
 // router).
 type (
@@ -244,11 +332,13 @@ func NewWorkloadGen(seed int64) *WorkloadGen { return workload.NewGen(seed) }
 
 // AllAtOnce zeroes arrival times (offline batch serving);
 // MergeStreams combines arrival streams in time order; SplitByGroup
-// partitions a stream by its prefix-sharing labels.
+// partitions a stream by its prefix-sharing labels; SetDeadlines
+// assigns a uniform end-to-end SLO budget.
 var (
 	AllAtOnce    = workload.AllAtOnce
 	MergeStreams = workload.Merge
 	SplitByGroup = workload.SplitByGroup
+	SetDeadlines = workload.SetDeadlines
 )
 
 // Speculative-decoding surface (§6.1, Fig. 19).

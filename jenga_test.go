@@ -4,8 +4,10 @@ package jenga_test
 // user touches must work through the root package alone.
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"jenga"
 )
@@ -151,6 +153,68 @@ func TestPublicClusterServe(t *testing.T) {
 	}
 	if got := len(jenga.SplitByGroup(reqs)); got != 7 {
 		t.Errorf("SplitByGroup found %d groups, want 7", got)
+	}
+}
+
+func TestPublicOnlineServing(t *testing.T) {
+	spec := jenga.Models.Gemma2_2B()
+	mgr, err := jenga.NewManager(jenga.ManagerConfig{
+		Spec: spec, CapacityBytes: 256 << 20, EnablePrefixCache: true, RequestAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := jenga.NewServer(jenga.ServerConfig{
+		Engine: jenga.EngineConfig{
+			Spec: spec, Device: jenga.H100(), Manager: mgr,
+			Admission: jenga.AdmissionChain(jenga.KVAdmission{}, jenga.SLOAdmission{TTFT: time.Second}),
+		},
+		SLOTTFT: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := jenga.NewWorkloadGen(9)
+	reqs := g.PrefixGroups(3, 4, 256, 32)
+	jenga.SetDeadlines(reqs, 30*time.Second)
+	var streams []*jenga.Stream
+	for _, r := range reqs {
+		st, err := srv.Submit(context.Background(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, st)
+	}
+	for _, st := range streams {
+		res, err := st.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.State != jenga.StreamFinished || !res.DeadlineMet {
+			t.Fatalf("stream %d: %+v, want finished within deadline", st.ID(), res)
+		}
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rep := srv.Report()
+	if rep.Finished != len(reqs) || rep.SLOAttainment <= 0 || rep.Goodput <= 0 {
+		t.Errorf("report %+v, want %d finishes with positive goodput", rep, len(reqs))
+	}
+	// The online cluster path works through the facade too.
+	c, err := jenga.NewCluster(jenga.ClusterConfig{
+		Spec: spec, Replicas: 2, Policy: jenga.LeastLoaded,
+		CapacityBytes: 256 << 20, Admission: jenga.KVAdmission{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := c.ServeOnline(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Finished+cres.Failed+cres.Shed != len(reqs) {
+		t.Errorf("online cluster accounting: %+v over %d requests", cres, len(reqs))
 	}
 }
 
