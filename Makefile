@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json fmt vet ci
+.PHONY: build test race bench bench-json bench-smoke fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -18,13 +18,21 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Machine-readable serving scorecard (BENCH_serving.json), mirrored by
-# the CI artifact upload: the online streaming benchmark under a
-# 4-replica overload with kv+slo admission.
+# Machine-readable scorecards, mirrored by the CI artifact uploads:
+# BENCH_serving.json is the online streaming benchmark under a
+# 4-replica overload with kv+slo admission; BENCH_core.json is the
+# allocator/engine hot-path trajectory (ns/op, allocs/op, sim anchor —
+# the baseline section in the committed file is preserved across runs).
 bench-json:
 	$(GO) run ./cmd/jengabench -stream -replicas 4 -requests 480 -rate 600 \
 		-slo-ttft 250ms -deadline 2s -admission kv+slo \
 		-bench-json BENCH_serving.json
+	$(GO) run ./cmd/jengabench -bench-core -bench-json BENCH_core.json
+
+# Benchmark smoke: every benchmark must still run (one iteration each),
+# so the committed perf trajectory cannot rot.
+bench-smoke:
+	$(GO) test -run NONE -bench=. -benchtime=1x .
 
 fmt:
 	gofmt -w .

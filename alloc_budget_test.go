@@ -1,0 +1,64 @@
+package jenga_test
+
+import (
+	"testing"
+
+	"jenga"
+)
+
+// TestDecodeStepZeroAlloc is the allocation budget of the hot path: in
+// steady-state decode, one engine step performs zero heap allocations —
+// no per-step running-list copy, no per-decode projected-context map,
+// no Usage map on the sampling path, no free-pool map churn in the
+// allocator. The budget is asserted over a measurement window placed
+// mid-plateau of the engine's amortized slices (token buffer is
+// pre-sized at Submit; page tables and timelines are within capacity),
+// so any regression that allocates per step or per token fails loudly.
+//
+// Skipped under -short: the race-detector CI pass (-race -short) adds
+// instrumentation allocations that are not the engine's.
+func TestDecodeStepZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is not meaningful under -short/-race runs")
+	}
+	spec := &jenga.Spec{
+		Name: "zeroalloc", Params: 1_000_000, WeightBytes: 2, HiddenSize: 64,
+		Groups: []jenga.KVGroup{
+			{Name: "kv", Kind: jenga.FullAttention, Layers: 2, BytesPerToken: 128, Scope: jenga.ScopeText},
+		},
+	}
+	mgr, err := jenga.NewManager(jenga.ManagerConfig{
+		Spec: spec, CapacityBytes: 64 << 20, TokensPerPage: 16, RequestAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := jenga.NewEngine(jenga.EngineConfig{
+		Spec: spec, Manager: mgr, MaxBatchTokens: 2048, MaxSteps: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := jenga.Request{ID: 1, OutputLen: 4096}
+	for j := 0; j < 64; j++ {
+		req.Prompt = append(req.Prompt, jenga.Token{ID: int32(j + 1)})
+	}
+	if err := eng.Submit(&req); err != nil {
+		t.Fatal(err)
+	}
+	// Warm deep into decode so every amortized slice (page table,
+	// decode timeline) sits mid-plateau for the measurement window.
+	for i := 0; i < 1300; i++ {
+		if err := eng.StepOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(128, func() {
+		if err := eng.StepOnce(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state decode step allocates %.2f objects per step, want 0", allocs)
+	}
+}

@@ -8,6 +8,12 @@
 // -bench-json — written as machine-readable JSON so the serving
 // trajectory is tracked across PRs.
 //
+// With -bench-core it instead measures the allocator/engine hot-path
+// micro-benchmarks (the internal/bench fixtures the root benchmark
+// suite also runs) plus a compact end-to-end throughput anchor, and
+// writes BENCH_core.json — preserving the file's existing baseline
+// section so an optimization's before/after stays committed.
+//
 // Usage:
 //
 //	jengabench -list
@@ -16,6 +22,7 @@
 //	jengabench -replicas 4 -router all -model gemma2-2b -rate 200
 //	jengabench -stream -rate 150 -slo-ttft 750ms -admission kv+slo \
 //	    -bench-json BENCH_serving.json
+//	jengabench -bench-core -bench-json BENCH_core.json
 package main
 
 import (
@@ -51,6 +58,7 @@ func main() {
 		groups    = flag.Int("prefix-groups", 0, "shared-prefix classes (default 4×replicas-1)")
 		prefixLen = flag.Int("prefix-len", 1024, "shared-prefix length in tokens")
 
+		benchCore = flag.Bool("bench-core", false, "run the core hot-path micro-benchmarks and write BENCH_core.json (path via -bench-json)")
 		stream    = flag.Bool("stream", false, "run the online streaming-serving benchmark (event-driven core, live routing, admission)")
 		sloTTFT   = flag.Duration("slo-ttft", 750*time.Millisecond, "stream-mode TTFT target for SLO attainment and the slo admission policy")
 		deadline  = flag.Duration("deadline", 0, "stream-mode per-request E2E deadline for goodput (0 = none)")
@@ -58,6 +66,21 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "write the stream-mode scorecard to this JSON file (BENCH_serving.json)")
 	)
 	flag.Parse()
+	if *benchCore {
+		if *exp != "" || *list || *csv != "" || *stream || *replicas > 0 {
+			fmt.Fprintln(os.Stderr, "core-bench mode (-bench-core) does not combine with -exp, -list, -csv, -stream or -replicas")
+			os.Exit(1)
+		}
+		out := *benchJSON
+		if out == "" {
+			out = "BENCH_core.json"
+		}
+		if err := runBenchCore(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *stream {
 		if *exp != "" || *list || *csv != "" {
 			fmt.Fprintln(os.Stderr, "stream mode (-stream) does not combine with -exp, -list or -csv")

@@ -265,43 +265,61 @@ func (p *Paged) advance(seq *core.Sequence, tr *seqTrack, upTo int) {
 // stored in layers of the other modality, idle Mamba slots) as waste —
 // the quantity Fig. 16 plots in red.
 func (p *Paged) Usage() core.Usage {
-	in := p.inner.Usage()
-	mambaPool := p.mambaPerSeq * int64(p.mambaSlots)
-	var mambaNeeded int64
-	var attnNeeded int64
+	t := p.totals(p.inner.UsageTotals())
+	u := t.u
+	u.PerGroup = map[string]core.GroupUsage{
+		FlattenedGroupName: {
+			Used:   t.attnNeeded,
+			Cached: u.Cached,
+			Wasted: t.deadAttn + t.inWasted,
+		},
+	}
+	if p.mambaPerSeq > 0 {
+		u.PerGroup["mamba-pool"] = core.GroupUsage{
+			Used:   t.mambaNeeded,
+			Wasted: t.mambaPool - t.mambaNeeded,
+		}
+	}
+	return u
+}
+
+// UsageTotals implements core.Manager (the PerGroup-free hot-path form).
+func (p *Paged) UsageTotals() core.Usage {
+	return p.totals(p.inner.UsageTotals()).u
+}
+
+// pagedTotals carries the re-labeled snapshot plus the intermediate
+// quantities Usage's PerGroup breakdown reports.
+type pagedTotals struct {
+	u                                            core.Usage
+	attnNeeded, mambaNeeded, mambaPool, deadAttn int64
+	inWasted                                     int64
+}
+
+// totals folds the inner manager's aggregates into the baseline's
+// re-labeled view.
+func (p *Paged) totals(in core.Usage) pagedTotals {
+	t := pagedTotals{mambaPool: p.mambaPerSeq * int64(p.mambaSlots), inWasted: in.Wasted}
 	for _, tr := range p.seqs {
 		for gi := range p.spec.Groups {
 			g := &p.spec.Groups[gi]
 			if g.Kind == model.Mamba {
 				if tr.proj[gi] > 0 {
-					mambaNeeded += int64(g.StateBytes) * int64(g.Layers)
+					t.mambaNeeded += int64(g.StateBytes) * int64(g.Layers)
 				}
 			}
 		}
 	}
-	attnNeeded = p.neededAttn - mambaNeeded
-	deadAttn := in.Used - attnNeeded
-	if deadAttn < 0 {
-		deadAttn = 0
+	t.attnNeeded = p.neededAttn - t.mambaNeeded
+	t.deadAttn = in.Used - t.attnNeeded
+	if t.deadAttn < 0 {
+		t.deadAttn = 0
 	}
-	u := core.Usage{
-		Used:   attnNeeded + mambaNeeded,
+	t.u = core.Usage{
+		Used:   t.attnNeeded + t.mambaNeeded,
 		Cached: in.Cached,
-		Wasted: deadAttn + in.Wasted + (mambaPool - mambaNeeded),
+		Wasted: t.deadAttn + in.Wasted + (t.mambaPool - t.mambaNeeded),
 		Free:   in.Free,
-		PerGroup: map[string]core.GroupUsage{
-			FlattenedGroupName: {
-				Used:   attnNeeded,
-				Cached: in.Cached,
-				Wasted: deadAttn + in.Wasted,
-			},
-		},
 	}
-	if p.mambaPerSeq > 0 {
-		u.PerGroup["mamba-pool"] = core.GroupUsage{
-			Used:   mambaNeeded,
-			Wasted: mambaPool - mambaNeeded,
-		}
-	}
-	return u
+	return t
 }

@@ -130,7 +130,15 @@ func (m *maxPaged) Release(seq *core.Sequence, cache bool) {
 
 // Usage re-labels the padded tail of live draft pages as waste.
 func (m *maxPaged) Usage() core.Usage {
-	u := m.Jenga.Usage()
+	return m.relabel(m.Jenga.Usage())
+}
+
+// UsageTotals is the PerGroup-free hot-path form of Usage.
+func (m *maxPaged) UsageTotals() core.Usage {
+	return m.relabel(m.Jenga.UsageTotals())
+}
+
+func (m *maxPaged) relabel(u core.Usage) core.Usage {
 	pad := m.draftTotal * m.padWaste
 	if pad > u.Used {
 		pad = u.Used

@@ -348,9 +348,9 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result) *Result {
 		out.HitRate = float64(cached) / float64(work)
 	}
 	out.Imbalance = metrics.Imbalance(shares)
-	out.P50TTFT = metrics.Percentile(ttfts, 50)
-	out.P99TTFT = metrics.Percentile(ttfts, 99)
-	out.P50E2E = metrics.Percentile(e2es, 50)
-	out.P99E2E = metrics.Percentile(e2es, 99)
+	tq := metrics.Percentiles(ttfts, 50, 99)
+	eq := metrics.Percentiles(e2es, 50, 99)
+	out.P50TTFT, out.P99TTFT = tq[0], tq[1]
+	out.P50E2E, out.P99E2E = eq[0], eq[1]
 	return out
 }

@@ -59,7 +59,9 @@ func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
 		}
 		lastArrival = r.Arrival
 		for j, e := range c.engines {
-			snap := e.Snapshot()
+			// Aggregate-only usage: routers read totals, and this runs
+			// per replica per arrival.
+			snap := e.SnapshotTotals()
 			loads[j].Live = true
 			loads[j].Usage = snap.Usage
 			loads[j].QueueDepth = snap.Pending + snap.Waiting

@@ -66,6 +66,37 @@ func (h *largeHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 
 // --- page state transitions -------------------------------------------
 
+// cacheAdd registers a page entering the cached state of large page L,
+// keeping the large page's eviction key (cached/expired counts, max
+// last-access) current without a rescan.
+func (m *Jenga) cacheAdd(L arena.LargePageID, ts Tick, expired bool) {
+	m.cntCached[L]++
+	if expired {
+		m.cntExpired[L]++
+	}
+	if ts > m.largeTS[L] {
+		m.largeTS[L] = ts
+	}
+}
+
+// cacheRemove registers a cached page leaving the cached state of large
+// page L. A max can't be maintained incrementally under removal, so
+// when the departing page holds the current max the key is only marked
+// dirty; largeTimestamp recomputes it lazily if the page is ever read
+// as an eviction candidate again.
+func (m *Jenga) cacheRemove(L arena.LargePageID, pg *page) {
+	m.cntCached[L]--
+	if pg.expired {
+		m.cntExpired[L]--
+	}
+	if m.cntCached[L] == 0 {
+		m.largeTS[L] = 0
+		m.largeDirty[L] = false
+	} else if pg.lastAccess == m.largeTS[L] {
+		m.largeDirty[L] = true
+	}
+}
+
 // pageToUsed moves an empty or cached page into the used state with one
 // reference held by req.
 func (m *Jenga) pageToUsed(g *group, id arena.SmallPageID, req RequestID) {
@@ -73,15 +104,17 @@ func (m *Jenga) pageToUsed(g *group, id arena.SmallPageID, req RequestID) {
 	L := m.largeOf(g, id)
 	switch pg.status {
 	case pageEmpty:
-		delete(g.freeAny, id)
+		g.free.remove(id)
 		pg.filled, pg.dead = 0, 0
 		pg.hash, pg.complete, pg.hashed = 0, false, false
 	case pageCached:
 		// Re-claimed prefix-cache page: its content is a full valid
 		// block for the claimant, so dead slots reset.
-		check(pg.ref == 0, "cached page %d has refs", id)
+		if pg.ref != 0 {
+			check(false, "cached page %d has refs", id)
+		}
 		g.nCached--
-		m.cntCached[L]--
+		m.cacheRemove(L, pg)
 		pg.dead = 0
 		pg.expired = false
 		g.filledSlots += int64(pg.filled)
@@ -99,7 +132,9 @@ func (m *Jenga) pageToUsed(g *group, id arena.SmallPageID, req RequestID) {
 // pageAddRef shares an already-used page with another request.
 func (m *Jenga) pageAddRef(g *group, id arena.SmallPageID) {
 	pg := &g.pages[id]
-	check(pg.status == pageUsed && pg.ref > 0, "addRef on non-used page %d", id)
+	if pg.status != pageUsed || pg.ref <= 0 {
+		check(false, "addRef on non-used page %d", id)
+	}
 	pg.ref++
 }
 
@@ -110,7 +145,9 @@ func (m *Jenga) pageAddRef(g *group, id arena.SmallPageID) {
 // the dependency horizon — first in line for eviction (§3.3).
 func (m *Jenga) pageRelease(g *group, id arena.SmallPageID, cache bool, exitTS Tick, expired bool) {
 	pg := &g.pages[id]
-	check(pg.status == pageUsed && pg.ref > 0, "release on non-used page %d", id)
+	if pg.status != pageUsed || pg.ref <= 0 {
+		check(false, "release on non-used page %d", id)
+	}
 	pg.ref--
 	if pg.ref > 0 {
 		return
@@ -133,7 +170,7 @@ func (m *Jenga) pageRelease(g *group, id arena.SmallPageID, cache bool, exitTS T
 		pg.lastAccess = exitTS
 		pg.expired = expired
 		g.nCached++
-		m.cntCached[L]++
+		m.cacheAdd(L, exitTS, expired)
 		heap.Push(&g.evict, pageEntry{id: id, ts: pg.lastAccess, prio: pg.priority, expired: expired})
 		if m.cntUsed[L] == 0 {
 			m.pushLargeCandidate(L)
@@ -156,7 +193,7 @@ func (m *Jenga) pageToEmpty(g *group, id arena.SmallPageID) {
 	pg.status = pageEmpty
 	pg.filled, pg.dead = 0, 0
 	pg.complete = false
-	g.freeAny[id] = struct{}{}
+	g.free.add(id)
 	if m.cfg.RequestAware {
 		g.freeByReq[pg.assoc] = append(g.freeByReq[pg.assoc], id)
 	}
@@ -170,20 +207,24 @@ func (m *Jenga) pageToEmpty(g *group, id arena.SmallPageID) {
 // evictCached empties a cached page (prefix-cache eviction).
 func (m *Jenga) evictCached(g *group, id arena.SmallPageID) {
 	pg := &g.pages[id]
-	check(pg.status == pageCached, "evict on non-cached page %d", id)
+	if pg.status != pageCached {
+		check(false, "evict on non-cached page %d", id)
+	}
 	L := m.largeOf(g, id)
 	g.nCached--
-	m.cntCached[L]--
+	m.cacheRemove(L, pg)
 	m.pageToEmpty(g, id)
 }
 
 // reclaimLarge returns a fully empty large page to the LCM allocator —
 // the payoff of request-aware placement (§4.3).
 func (m *Jenga) reclaimLarge(g *group, L arena.LargePageID) {
-	check(m.largeOwner[L] == int32(g.idx), "reclaim of foreign large page %d", L)
+	if m.largeOwner[L] != int32(g.idx) {
+		check(false, "reclaim of foreign large page %d", L)
+	}
 	first, n := g.view.SmallRange(L)
 	for i := 0; i < n; i++ {
-		delete(g.freeAny, first+arena.SmallPageID(i))
+		g.free.remove(first + arena.SmallPageID(i))
 	}
 	g.ownedLarge--
 	m.largeOwner[L] = -1
@@ -201,28 +242,31 @@ func (m *Jenga) pushLargeCandidate(L arena.LargePageID) {
 	heap.Push(&m.largeEvict, largeEntry{id: L, ts: ts, expired: expired})
 }
 
-// largeTimestamp computes the eviction key of a large page: the latest
+// largeTimestamp returns the eviction key of a large page: the latest
 // last-access among its cached small pages, and whether every cached
 // page holds expired KV (such pages evict first, §3.3). ok is false
-// when the page is not currently evictable.
+// when the page is not currently evictable. The key is maintained
+// incrementally by cacheAdd/cacheRemove, so the common case is O(1);
+// only a dirty max (its holder left the cached set since the last
+// read) triggers a rescan of the large page's small pages.
 func (m *Jenga) largeTimestamp(L arena.LargePageID) (Tick, bool, bool) {
 	if m.largeOwner[L] < 0 || m.cntUsed[L] != 0 || m.cntCached[L] == 0 {
 		return 0, false, false
 	}
-	g := m.groups[m.largeOwner[L]]
-	first, n := g.view.SmallRange(L)
-	var ts Tick
-	expired := true
-	for i := 0; i < n; i++ {
-		pg := &g.pages[first+arena.SmallPageID(i)]
-		if pg.status == pageCached {
-			if pg.lastAccess > ts {
+	if m.largeDirty[L] {
+		g := m.groups[m.largeOwner[L]]
+		first, n := g.view.SmallRange(L)
+		var ts Tick
+		for i := 0; i < n; i++ {
+			pg := &g.pages[first+arena.SmallPageID(i)]
+			if pg.status == pageCached && pg.lastAccess > ts {
 				ts = pg.lastAccess
 			}
-			expired = expired && pg.expired
 		}
+		m.largeTS[L] = ts
+		m.largeDirty[L] = false
 	}
-	return ts, expired, true
+	return m.largeTS[L], m.cntExpired[L] == m.cntCached[L], true
 }
 
 // --- §5.4 allocation ----------------------------------------------------
@@ -295,7 +339,7 @@ func (m *Jenga) popAssocFree(g *group, req RequestID) (arena.SmallPageID, bool) 
 		pg := &g.pages[id]
 		if pg.status == pageEmpty && pg.assoc == req &&
 			m.largeOwner[m.largeOf(g, id)] == int32(g.idx) {
-			if _, ok := g.freeAny[id]; ok {
+			if g.free.has(id) {
 				g.freeByReq[req] = lst
 				return id, true
 			}
@@ -305,12 +349,10 @@ func (m *Jenga) popAssocFree(g *group, req RequestID) (arena.SmallPageID, bool) 
 	return 0, false
 }
 
-// popAnyFree pops an arbitrary empty page of the group.
+// popAnyFree pops the lowest-ID empty page of the group — O(1) and
+// deterministic, unlike the randomized map iteration it replaces.
 func (m *Jenga) popAnyFree(g *group) (arena.SmallPageID, bool) {
-	for id := range g.freeAny {
-		return id, true
-	}
-	return 0, false
+	return g.free.min()
 }
 
 // takeFreshLarge assigns a free large page to g, associates all its
@@ -321,11 +363,18 @@ func (m *Jenga) takeFreshLarge(g *group, req RequestID) (arena.SmallPageID, bool
 	}
 	L := m.freeLarge[len(m.freeLarge)-1]
 	m.freeLarge = m.freeLarge[:len(m.freeLarge)-1]
-	check(m.largeOwner[L] == -1, "free large page %d has owner", L)
+	if m.largeOwner[L] != -1 {
+		check(false, "free large page %d has owner", L)
+	}
 	m.largeOwner[L] = int32(g.idx)
 	m.largeAssoc[L] = req
 	g.ownedLarge++
 	first, n := g.view.SmallRange(L)
+	assoc := m.cfg.RequestAware && n > 1
+	var lst []arena.SmallPageID
+	if assoc {
+		lst = g.freeByReq[req] // one map access for the whole carve
+	}
 	for i := n - 1; i >= 0; i-- {
 		id := first + arena.SmallPageID(i)
 		pg := &g.pages[id]
@@ -333,10 +382,13 @@ func (m *Jenga) takeFreshLarge(g *group, req RequestID) (arena.SmallPageID, bool
 		pg.ref, pg.filled, pg.dead = 0, 0, 0
 		pg.hashed = false
 		pg.assoc = req
-		g.freeAny[id] = struct{}{}
-		if m.cfg.RequestAware && i > 0 {
-			g.freeByReq[req] = append(g.freeByReq[req], id)
+		g.free.add(id)
+		if assoc && i > 0 {
+			lst = append(lst, id)
 		}
+	}
+	if assoc {
+		g.freeByReq[req] = lst
 	}
 	return first, true
 }

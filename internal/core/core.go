@@ -87,6 +87,10 @@ type Manager interface {
 	Release(seq *Sequence, cache bool)
 	// Usage returns the current memory accounting snapshot.
 	Usage() Usage
+	// UsageTotals returns the same snapshot without the PerGroup map —
+	// the allocation-free form per-step hot paths (admission checks,
+	// KV-utilization sampling) call. Totals must equal Usage()'s.
+	UsageTotals() Usage
 	// Capacity returns the total KV bytes under management.
 	Capacity() int64
 	// CachedPrefix returns the prefix length served from cache at the

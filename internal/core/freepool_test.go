@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"jenga/internal/arena"
+)
+
+// TestFreePoolAgainstReference drives the hierarchical bitmap against a
+// plain map reference across pool sizes spanning one to three summary
+// levels, checking membership, count and the lowest-ID pop invariant
+// after every operation.
+func TestFreePoolAgainstReference(t *testing.T) {
+	for _, pages := range []int{1, 7, 64, 65, 4096, 4097, 300_000} {
+		var f freePool
+		f.init(pages)
+		ref := map[arena.SmallPageID]bool{}
+		rng := rand.New(rand.NewSource(int64(pages)))
+		ops := 4096
+		if ops > pages*4 {
+			ops = pages * 4
+		}
+		for i := 0; i < ops; i++ {
+			id := arena.SmallPageID(rng.Intn(pages))
+			if ref[id] {
+				f.remove(id)
+				delete(ref, id)
+			} else {
+				f.add(id)
+				ref[id] = true
+			}
+			if f.has(id) == !ref[id] {
+				t.Fatalf("pages=%d: has(%d) = %v after op %d", pages, id, f.has(id), i)
+			}
+			if f.len() != len(ref) {
+				t.Fatalf("pages=%d: len = %d, want %d", pages, f.len(), len(ref))
+			}
+			min, ok := f.min()
+			if ok != (len(ref) > 0) {
+				t.Fatalf("pages=%d: min ok = %v with %d free", pages, ok, len(ref))
+			}
+			if ok {
+				want := arena.SmallPageID(pages)
+				for id := range ref {
+					if id < want {
+						want = id
+					}
+				}
+				if min != want {
+					t.Fatalf("pages=%d: min = %d, want %d", pages, min, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFreePoolPopDrain pops a sparse set to exhaustion and expects the
+// IDs back in ascending order — the §5.4 determinism guarantee.
+func TestFreePoolPopDrain(t *testing.T) {
+	var f freePool
+	f.init(100_000)
+	ids := []arena.SmallPageID{0, 1, 63, 64, 65, 4095, 4096, 90_001, 99_999}
+	perm := rand.New(rand.NewSource(1)).Perm(len(ids))
+	for _, i := range perm {
+		f.add(ids[i])
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, want := range ids {
+		got, ok := f.min()
+		if !ok || got != want {
+			t.Fatalf("min = %d/%v, want %d", got, ok, want)
+		}
+		f.remove(got)
+	}
+	if _, ok := f.min(); ok || f.len() != 0 {
+		t.Fatalf("pool not empty after drain")
+	}
+}

@@ -341,7 +341,9 @@ func (m *Jenga) reserveMamba(g *group, rg *reqGroup, req RequestID, newProj int)
 // Commit implements Manager.
 func (m *Jenga) Commit(seq *Sequence, upTo int, now Tick) {
 	r := m.getReq(seq)
-	check(upTo <= r.reserved, "commit %d beyond reserved %d for request %d", upTo, r.reserved, r.id)
+	if upTo > r.reserved {
+		check(false, "commit %d beyond reserved %d for request %d", upTo, r.reserved, r.id)
+	}
 	if upTo <= r.committed {
 		return
 	}
@@ -382,7 +384,9 @@ func (m *Jenga) commitGroup(g *group, rg *reqGroup, delta []Token, fullBase, pro
 			continue
 		}
 		b := pos / g.tpp
-		check(b < len(rg.pages) && rg.pages[b].held, "commit into unreserved block %d", b)
+		if b >= len(rg.pages) || !rg.pages[b].held {
+			check(false, "commit into unreserved block %d", b)
+		}
 		pg := &g.pages[rg.pages[b].id]
 		pg.filled++
 		g.filledSlots++
@@ -581,9 +585,22 @@ func (m *Jenga) claimMamba(g *group, rg *reqGroup, pl int, now Tick) {
 	pg := &g.pages[id]
 	// Touch the checkpoint (the paper updates only the last cached
 	// state's access time) and re-queue it with the fresh timestamp.
-	pg.lastAccess = now
 	if pg.status == pageCached {
-		heap.Push(&g.evict, pageEntry{id: id, ts: pg.lastAccess, prio: pg.priority})
+		// Re-keying a cached page re-keys its large page: losing the
+		// old value may lower the max (a warm engine restart resets
+		// ticks, so `now` can be below it — mark dirty), the new value
+		// may raise it.
+		L := m.largeOf(g, id)
+		if pg.lastAccess == m.largeTS[L] {
+			m.largeDirty[L] = true
+		}
+		pg.lastAccess = now
+		if now > m.largeTS[L] {
+			m.largeTS[L] = now
+		}
+		heap.Push(&g.evict, pageEntry{id: id, ts: now, prio: pg.priority})
+	} else {
+		pg.lastAccess = now
 	}
 	rg.baseProj = pl
 	rg.nextCkpt = pl + g.spec.Checkpoint()

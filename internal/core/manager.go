@@ -97,9 +97,10 @@ type group struct {
 	// freeByReq holds empty pages grouped by associated request
 	// (lazy — entries validated on pop).
 	freeByReq map[RequestID][]arena.SmallPageID
-	// freeAny holds every empty page in group-owned large pages
-	// (strictly maintained).
-	freeAny map[arena.SmallPageID]struct{}
+	// free holds every empty page in group-owned large pages (strictly
+	// maintained): a hierarchical bitmap whose pop is O(1) and always
+	// yields the lowest free ID (deterministic §5.4 steps 1/4).
+	free freePool
 	// evict orders cached pages by (lastAccess, -priority).
 	evict pageHeap
 
@@ -127,6 +128,15 @@ type Jenga struct {
 	largeAssoc []RequestID
 	cntUsed    []int32 // used small pages per large page
 	cntCached  []int32 // cached small pages per large page
+	// Incrementally maintained large-page eviction keys (§5.4 step 3):
+	// cntExpired counts cached pages holding expired KV, largeTS is the
+	// max last-access among cached pages, and largeDirty marks a
+	// largeTS whose max-holder left the cached set (recomputed lazily
+	// by largeTimestamp). Together they make eviction-key reads O(1)
+	// instead of a rescan of every small page in the large page.
+	cntExpired []int32
+	largeTS    []Tick
+	largeDirty []bool
 
 	freeLarge  []arena.LargePageID
 	largeEvict largeHeap
@@ -194,6 +204,9 @@ func New(cfg Config) (*Jenga, error) {
 		largeAssoc: make([]RequestID, ar.NumLargePages()),
 		cntUsed:    make([]int32, ar.NumLargePages()),
 		cntCached:  make([]int32, ar.NumLargePages()),
+		cntExpired: make([]int32, ar.NumLargePages()),
+		largeTS:    make([]Tick, ar.NumLargePages()),
+		largeDirty: make([]bool, ar.NumLargePages()),
 		reqs:       make(map[RequestID]*reqState),
 	}
 	for i := range m.largeOwner {
@@ -232,8 +245,8 @@ func New(cfg Config) (*Jenga, error) {
 			pages:      make([]page, ar.NumLargePages()*geo.Ratio[gs.Name]),
 			index:      make(map[uint64]arena.SmallPageID),
 			freeByReq:  make(map[RequestID][]arena.SmallPageID),
-			freeAny:    make(map[arena.SmallPageID]struct{}),
 		}
+		g.free.init(len(g.pages))
 		m.groups = append(m.groups, g)
 		m.byName[gs.Name] = i
 	}
@@ -272,21 +285,39 @@ func (m *Jenga) GroupView(name string) (*arena.View, error) {
 	return m.groups[gi].view, nil
 }
 
+// usage folds the group's aggregate counters into its Usage slice.
+func (g *group) usage() GroupUsage {
+	live := g.filledSlots - g.deadSlots
+	tailEmpty := int64(g.nUsed)*int64(g.tpp) - g.filledSlots
+	ownedEmpty := int64(g.ownedLarge*g.ratio - g.nUsed - g.nCached)
+	return GroupUsage{
+		Used:   live * int64(g.slotUnit),
+		Cached: int64(g.nCached) * int64(g.smallBytes),
+		Wasted: g.deadSlots*int64(g.slotUnit) +
+			tailEmpty*int64(g.slotUnit) +
+			ownedEmpty*int64(g.smallBytes),
+	}
+}
+
 // Usage implements Manager. Used + Cached + Wasted + Free == Capacity.
 func (m *Jenga) Usage() Usage {
-	u := Usage{PerGroup: make(map[string]GroupUsage, len(m.groups))}
+	u := m.UsageTotals()
+	u.PerGroup = make(map[string]GroupUsage, len(m.groups))
+	for _, g := range m.groups {
+		u.PerGroup[g.spec.Name] = g.usage()
+	}
+	return u
+}
+
+// UsageTotals implements Manager: the aggregate snapshot without the
+// PerGroup map. All inputs are counters maintained on page transitions,
+// so the call is allocation-free and O(groups) — the form the engine's
+// admission check and KV-utilization sampling use every step.
+func (m *Jenga) UsageTotals() Usage {
+	var u Usage
 	var allocatedLarge int64
 	for _, g := range m.groups {
-		gu := GroupUsage{}
-		live := g.filledSlots - g.deadSlots
-		gu.Used = live * int64(g.slotUnit)
-		gu.Cached = int64(g.nCached) * int64(g.smallBytes)
-		tailEmpty := int64(g.nUsed)*int64(g.tpp) - g.filledSlots
-		ownedEmpty := int64(g.ownedLarge*g.ratio - g.nUsed - g.nCached)
-		gu.Wasted = g.deadSlots*int64(g.slotUnit) +
-			tailEmpty*int64(g.slotUnit) +
-			ownedEmpty*int64(g.smallBytes)
-		u.PerGroup[g.spec.Name] = gu
+		gu := g.usage()
 		u.Used += gu.Used
 		u.Cached += gu.Cached
 		u.Wasted += gu.Wasted

@@ -71,16 +71,24 @@ func audit(t *testing.T, m *Jenga) {
 	t.Helper()
 	var ownedLargeTotal int64
 	for L := range m.largeOwner {
-		var used, cached int32
+		var used, cached, expired int32
+		var maxTS Tick
 		if m.largeOwner[L] >= 0 {
 			g := m.groups[m.largeOwner[L]]
 			first, n := g.view.SmallRange(arena.LargePageID(L))
 			for i := 0; i < n; i++ {
-				switch g.pages[first+arena.SmallPageID(i)].status {
+				pg := &g.pages[first+arena.SmallPageID(i)]
+				switch pg.status {
 				case pageUsed:
 					used++
 				case pageCached:
 					cached++
+					if pg.expired {
+						expired++
+					}
+					if pg.lastAccess > maxTS {
+						maxTS = pg.lastAccess
+					}
 				}
 			}
 			ownedLargeTotal++
@@ -88,6 +96,23 @@ func audit(t *testing.T, m *Jenga) {
 		if used != m.cntUsed[L] || cached != m.cntCached[L] {
 			t.Fatalf("large %d: cnt used/cached = %d/%d, recount %d/%d",
 				L, m.cntUsed[L], m.cntCached[L], used, cached)
+		}
+		// The incremental eviction key: expired count is exact; the
+		// cached max last-access is exact when clean and an upper bound
+		// while dirty (the max-holder left, pending a lazy rescan).
+		if expired != m.cntExpired[L] {
+			t.Fatalf("large %d: cntExpired = %d, recount %d", L, m.cntExpired[L], expired)
+		}
+		if cached == 0 {
+			if m.largeTS[L] != 0 || m.largeDirty[L] {
+				t.Fatalf("large %d: uncached but largeTS/dirty = %d/%v", L, m.largeTS[L], m.largeDirty[L])
+			}
+		} else if m.largeDirty[L] {
+			if m.largeTS[L] < maxTS {
+				t.Fatalf("large %d: dirty largeTS = %d below true max %d", L, m.largeTS[L], maxTS)
+			}
+		} else if m.largeTS[L] != maxTS {
+			t.Fatalf("large %d: clean largeTS = %d, true max %d", L, m.largeTS[L], maxTS)
 		}
 		if m.largeOwner[L] >= 0 && used == 0 && cached == 0 {
 			t.Fatalf("large %d: fully empty but still owned (reclaim missed)", L)
@@ -125,8 +150,8 @@ func audit(t *testing.T, m *Jenga) {
 						t.Fatalf("group %s: cached page without index entry", g.spec.Name)
 					}
 				case pageEmpty:
-					if _, ok := g.freeAny[first+arena.SmallPageID(i)]; !ok {
-						t.Fatalf("group %s: empty owned page %d missing from freeAny", g.spec.Name, first+arena.SmallPageID(i))
+					if !g.free.has(first + arena.SmallPageID(i)) {
+						t.Fatalf("group %s: empty owned page %d missing from free pool", g.spec.Name, first+arena.SmallPageID(i))
 					}
 				}
 			}
@@ -139,14 +164,23 @@ func audit(t *testing.T, m *Jenga) {
 			t.Fatalf("group %s: slots filled/dead = %d/%d, recount %d/%d",
 				g.spec.Name, g.filledSlots, g.deadSlots, filled, dead)
 		}
-		for id := range g.freeAny {
+		nFree := 0
+		for p := range g.pages {
+			id := arena.SmallPageID(p)
+			if !g.free.has(id) {
+				continue
+			}
+			nFree++
 			pg := &g.pages[id]
 			if pg.status != pageEmpty {
-				t.Fatalf("group %s: freeAny holds non-empty page %d", g.spec.Name, id)
+				t.Fatalf("group %s: free pool holds non-empty page %d", g.spec.Name, id)
 			}
 			if m.largeOwner[g.view.LargeOf(id)] != int32(g.idx) {
-				t.Fatalf("group %s: freeAny page %d in foreign large page", g.spec.Name, id)
+				t.Fatalf("group %s: free page %d in foreign large page", g.spec.Name, id)
 			}
+		}
+		if nFree != g.free.len() {
+			t.Fatalf("group %s: free pool count %d, recount %d", g.spec.Name, g.free.len(), nFree)
 		}
 		for h, id := range g.index {
 			pg := &g.pages[id]

@@ -184,10 +184,34 @@ type run struct {
 	// scheduled in the current step must not be preempted (its commit
 	// is already in flight).
 	scheduledStep int
-	firstToken    time.Duration
-	finish        time.Duration
-	started       bool
+	// ctxText and ctxImg count text and image tokens among the first
+	// `computed` tokens, maintained incrementally as KV commits so the
+	// per-decode KV-read cost never rescans the context.
+	ctxText, ctxImg int
+	// alive reports membership in Engine.running (an O(1) stand-in for
+	// scanning the running list when a preemption may have removed the
+	// run mid-step).
+	alive      bool
+	firstToken time.Duration
+	finish     time.Duration
+	started    bool
 }
+
+// advanceCtx folds tokens [from, to) into the run's committed text and
+// image counts.
+func (r *run) advanceCtx(from, to int) {
+	for i := from; i < to && i < len(r.seq.Tokens); i++ {
+		if r.seq.Tokens[i].Image {
+			r.ctxImg++
+		} else {
+			r.ctxText++
+		}
+	}
+}
+
+// resetCtx clears the committed-context counters (preemption and
+// admission rollback set computed back to zero).
+func (r *run) resetCtx() { r.ctxText, r.ctxImg = 0, 0 }
 
 func (r *run) promptLen() int { return len(r.req.Prompt) }
 
@@ -230,6 +254,11 @@ type Engine struct {
 
 	decodeTimeline []int
 	memTimeline    []MemSample
+
+	// stepScratch and committers are per-step work lists reused across
+	// steps so the steady-state step loop allocates nothing.
+	stepScratch []*run
+	committers  []*run
 }
 
 // New validates the config and builds an engine.
@@ -318,7 +347,7 @@ func (e *Engine) sampleKVUtil() {
 	if capacity <= 0 {
 		return
 	}
-	u := e.cfg.Manager.Usage()
+	u := e.cfg.Manager.UsageTotals()
 	util := float64(u.Used+u.Cached) / float64(capacity)
 	e.kvUtilSum += util
 	e.kvUtilN++
@@ -357,15 +386,18 @@ func (e *Engine) runStep() bool {
 	now := core.Tick(e.step)
 	work := gpu.StepWork{KernelEfficiency: e.cfg.KernelEfficiency}
 	budget := e.cfg.MaxBatchTokens
-	var committers []*run
+	committers := e.committers[:0]
 	decodeBatch := 0
 
-	// Phase 1: one decode slot per running decode-phase sequence.
-	for _, r := range append([]*run(nil), e.running...) {
+	// Phase 1: one decode slot per running decode-phase sequence. The
+	// running list can shrink mid-loop (reserveWithPreemption), so
+	// iterate a reused snapshot and skip runs a preemption removed.
+	e.stepScratch = append(e.stepScratch[:0], e.running...)
+	for _, r := range e.stepScratch {
 		if r.ph != phaseDecode || budget <= 0 {
 			continue
 		}
-		if !e.contains(r) {
+		if !r.alive {
 			continue // preempted by an earlier iteration of this loop
 		}
 		r.seq.Tokens = append(r.seq.Tokens, e.genToken(r))
@@ -381,7 +413,7 @@ func (e *Engine) runStep() bool {
 		budget--
 		decodeBatch++
 		work.DecodeSeqs++
-		work.KVReadBytes += gpu.DecodeKVReadBytes(e.cfg.Spec, e.projCtx(r))
+		work.KVReadBytes += gpu.DecodeKVReadBytesSplit(e.cfg.Spec, r.ctxText, r.ctxImg)
 	}
 
 	// Phase 2: prefill chunks for running prefill-phase sequences.
@@ -412,13 +444,14 @@ func (e *Engine) runStep() bool {
 		prefills < e.cfg.MaxPrefills {
 		idx := e.pickWaiting()
 		r := e.waiting[idx]
-		u := e.cfg.Manager.Usage()
+		u := e.cfg.Manager.UsageTotals()
 		watermark := e.cfg.Manager.Capacity() / 100
 		if e.cfg.Manager.Footprint(r.seq) > u.Free+u.Cached-watermark {
 			break
 		}
 		prefills++
 		e.running = append(e.running, r)
+		r.alive = true
 		if idx == 0 {
 			e.waiting = e.waiting[1:]
 		} else {
@@ -434,8 +467,10 @@ func (e *Engine) runStep() bool {
 			// waiting request must hold no memory — it is invisible to
 			// preemption) and stop admitting.
 			e.running = e.running[:len(e.running)-1]
+			r.alive = false
 			e.cfg.Manager.Release(r.seq, false)
 			r.computed = 0
+			r.resetCtx()
 			r.cachedHit = 0
 			r.encoded = false
 			e.waiting = append([]*run{r}, e.waiting...)
@@ -445,6 +480,7 @@ func (e *Engine) runStep() bool {
 		committers = append(committers, r)
 	}
 
+	e.committers = committers
 	if len(committers) == 0 {
 		return false
 	}
@@ -456,6 +492,7 @@ func (e *Engine) runStep() bool {
 		e.cfg.Manager.Commit(r.seq, r.pendingTarget, now)
 		if r.ph == phasePrefill {
 			e.totalPromptComputed += int64(r.pendingTarget - r.computed)
+			r.advanceCtx(r.computed, r.pendingTarget)
 			r.computed = r.pendingTarget
 			if e.cfg.Vision == VisionFreeOnDemand && e.cfg.Manager.SupportsVisionCache() {
 				e.cfg.Manager.DropImages(r.seq, r.computed)
@@ -474,6 +511,7 @@ func (e *Engine) runStep() bool {
 				}
 			}
 		} else {
+			r.advanceCtx(r.computed, r.pendingTarget)
 			r.computed = r.pendingTarget
 			r.decodesDone++
 			e.totalGenerated++
@@ -544,6 +582,7 @@ func (e *Engine) schedulePrefill(r *run, budget int, now core.Tick, work *gpu.St
 	claimed := e.cfg.Manager.CachedPrefix(r.seq)
 	if claimed > r.computed {
 		e.totalCachedTokens += int64(claimed - r.computed)
+		r.advanceCtx(r.computed, claimed)
 		r.computed = claimed
 	}
 	if target < r.computed {
@@ -560,7 +599,7 @@ func (e *Engine) schedulePrefill(r *run, budget int, now core.Tick, work *gpu.St
 	}
 	computeTokens := target - r.computed
 	work.PrefillTokens += computeTokens
-	work.KVReadBytes += gpu.DecodeKVReadBytes(e.cfg.Spec, e.projCtx(r))
+	work.KVReadBytes += gpu.DecodeKVReadBytesSplit(e.cfg.Spec, r.ctxText, r.ctxImg)
 	if computeTokens == 0 {
 		// Nothing to compute (full-prompt hit): commit advances state.
 		return 1
@@ -631,6 +670,7 @@ func (e *Engine) preempt(victim *run) {
 	e.cfg.Manager.Release(victim.seq, true)
 	victim.ph = phasePrefill
 	victim.computed = 0
+	victim.resetCtx()
 	victim.cachedHit = 0
 	victim.encoded = false
 	e.preemptions++
@@ -706,21 +746,13 @@ func (e *Engine) finishRun(r *run) {
 }
 
 func (e *Engine) removeRunning(r *run) {
+	r.alive = false
 	for i, c := range e.running {
 		if c == r {
 			e.running = append(e.running[:i], e.running[i+1:]...)
 			return
 		}
 	}
-}
-
-func (e *Engine) contains(r *run) bool {
-	for _, c := range e.running {
-		if c == r {
-			return true
-		}
-	}
-	return false
 }
 
 // genToken produces the deterministic "generated" token for a decode
@@ -731,31 +763,6 @@ func (e *Engine) genToken(r *run) core.Token {
 	x := uint64(r.req.ID)*0x9E3779B97F4A7C15 + uint64(pos)*0xBF58476D1CE4E5B9
 	x ^= x >> 29
 	return core.Token{ID: int32(x%50000 + 1)}
-}
-
-// projCtx returns per-group projected context lengths for KV-read cost.
-func (e *Engine) projCtx(r *run) map[string]int {
-	var text, img int
-	for i := 0; i < r.computed && i < len(r.seq.Tokens); i++ {
-		if r.seq.Tokens[i].Image {
-			img++
-		} else {
-			text++
-		}
-	}
-	ctx := make(map[string]int, len(e.cfg.Spec.Groups))
-	for i := range e.cfg.Spec.Groups {
-		g := &e.cfg.Spec.Groups[i]
-		switch g.Scope {
-		case model.ScopeText:
-			ctx[g.Name] = text
-		case model.ScopeImage:
-			ctx[g.Name] = img
-		default:
-			ctx[g.Name] = text + img
-		}
-	}
-	return ctx
 }
 
 // result assembles the final metrics.

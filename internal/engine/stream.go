@@ -126,6 +126,8 @@ type AdmissionState struct {
 	Clock time.Duration
 	Step  int
 	// Usage and Capacity are the manager's live memory accounting.
+	// Usage carries aggregate totals only (PerGroup is nil): policies
+	// run once per arrival and must not cost a map allocation each.
 	Usage    core.Usage
 	Capacity int64
 	// Queued and Running are the current queue depths.
@@ -193,15 +195,28 @@ func (e *Engine) Live() bool {
 // Clock returns the current simulated time.
 func (e *Engine) Clock() time.Duration { return e.clock }
 
-// Snapshot returns the live scheduler state.
+// Snapshot returns the live scheduler state with full memory
+// accounting (Usage includes the PerGroup breakdown).
 func (e *Engine) Snapshot() Snapshot {
+	s := e.snapshot(e.cfg.Manager.Usage())
+	return s
+}
+
+// SnapshotTotals is Snapshot with aggregate-only memory accounting
+// (Usage.PerGroup is nil) — the allocation-light form per-arrival hot
+// paths such as online cluster routing read.
+func (e *Engine) SnapshotTotals() Snapshot {
+	return e.snapshot(e.cfg.Manager.UsageTotals())
+}
+
+func (e *Engine) snapshot(u core.Usage) Snapshot {
 	s := Snapshot{
 		Clock:    e.clock,
 		Step:     e.step,
 		Pending:  len(e.pending),
 		Waiting:  len(e.waiting),
 		Running:  len(e.running),
-		Usage:    e.cfg.Manager.Usage(),
+		Usage:    u,
 		Capacity: e.cfg.Manager.Capacity(),
 	}
 	for _, r := range e.pending {
@@ -233,9 +248,13 @@ func (e *Engine) Submit(req *workload.Request) error {
 	if req.OutputLen < 1 {
 		return fmt.Errorf("engine: request %d has output length %d", req.ID, req.OutputLen)
 	}
+	// Size the token slice for the full prompt-plus-output lifetime up
+	// front so decode-time appends never reallocate.
+	toks := make([]core.Token, 0, len(req.Prompt)+req.OutputLen)
+	toks = append(toks, req.Prompt...)
 	r := &run{
 		req: req,
-		seq: &core.Sequence{ID: core.RequestID(req.ID), PromptLen: len(req.Prompt), Tokens: append([]core.Token{}, req.Prompt...)},
+		seq: &core.Sequence{ID: core.RequestID(req.ID), PromptLen: len(req.Prompt), Tokens: toks},
 	}
 	// Stable insert by arrival: after existing entries with arrival
 	// ≤ req.Arrival, so submission order breaks ties exactly like the
@@ -373,12 +392,14 @@ func (e *Engine) FinishSampling() { e.finishSampling() }
 // instant. Batch Run returns the same structure at drain time.
 func (e *Engine) ResultSnapshot() *Result { return e.result() }
 
-// admissionState builds the policy input for candidate r.
+// admissionState builds the policy input for candidate r. Usage comes
+// from UsageTotals: policies decide on aggregates, and arrival-time
+// admission must not allocate a PerGroup map per candidate.
 func (e *Engine) admissionState(r *run) AdmissionState {
 	s := AdmissionState{
 		Clock:     e.clock,
 		Step:      e.step,
-		Usage:     e.cfg.Manager.Usage(),
+		Usage:     e.cfg.Manager.UsageTotals(),
 		Capacity:  e.cfg.Manager.Capacity(),
 		Queued:    len(e.waiting),
 		Running:   len(e.running),

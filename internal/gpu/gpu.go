@@ -144,21 +144,47 @@ func (c *CostModel) StepTime(w StepWork) time.Duration {
 func DecodeKVReadBytes(spec *model.Spec, projCtx map[string]int) int64 {
 	var total int64
 	for i := range spec.Groups {
-		g := &spec.Groups[i]
-		ctx := projCtx[g.Name]
-		switch g.Kind {
-		case model.Mamba:
-			total += int64(g.StateBytes) * int64(g.Layers)
-		case model.SlidingWindow, model.PyramidWindow:
-			if ctx > g.Window {
-				ctx = g.Window
-			}
-			total += int64(ctx) * int64(g.BytesPerToken) * int64(g.Layers)
-		case model.VisionEmbedding:
-			// Embeddings are consumed by prefill, not decode.
-		default:
-			total += int64(ctx) * int64(g.BytesPerToken) * int64(g.Layers)
-		}
+		total += groupKVReadBytes(&spec.Groups[i], projCtx[spec.Groups[i].Name])
 	}
 	return total
+}
+
+// DecodeKVReadBytesSplit is DecodeKVReadBytes with the projected
+// context given as committed (text, image) token counts: each group's
+// context follows from its scope, so per-decode cost lookups build no
+// map. The engine tracks the two counts incrementally per sequence.
+func DecodeKVReadBytesSplit(spec *model.Spec, text, img int) int64 {
+	var total int64
+	for i := range spec.Groups {
+		g := &spec.Groups[i]
+		var ctx int
+		switch g.Scope {
+		case model.ScopeText:
+			ctx = text
+		case model.ScopeImage:
+			ctx = img
+		default:
+			ctx = text + img
+		}
+		total += groupKVReadBytes(g, ctx)
+	}
+	return total
+}
+
+// groupKVReadBytes is one group's decode read traffic at context ctx.
+func groupKVReadBytes(g *model.KVGroup, ctx int) int64 {
+	switch g.Kind {
+	case model.Mamba:
+		return int64(g.StateBytes) * int64(g.Layers)
+	case model.SlidingWindow, model.PyramidWindow:
+		if ctx > g.Window {
+			ctx = g.Window
+		}
+		return int64(ctx) * int64(g.BytesPerToken) * int64(g.Layers)
+	case model.VisionEmbedding:
+		// Embeddings are consumed by prefill, not decode.
+		return 0
+	default:
+		return int64(ctx) * int64(g.BytesPerToken) * int64(g.Layers)
+	}
 }

@@ -28,6 +28,28 @@ func Percentile(xs []time.Duration, p float64) time.Duration {
 	}
 	cp := append([]time.Duration(nil), xs...)
 	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return percentileSorted(cp, p)
+}
+
+// Percentiles returns the requested percentiles of xs, sorting one
+// copy once — the multi-percentile form report paths use so a p50/p99
+// pair doesn't sort the same latency sample twice. Values match
+// Percentile exactly (same nearest-rank rule).
+func Percentiles(xs []time.Duration, ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	cp := append([]time.Duration(nil), xs...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	for i, p := range ps {
+		out[i] = percentileSorted(cp, p)
+	}
+	return out
+}
+
+// percentileSorted is the nearest-rank rule over a sorted sample.
+func percentileSorted(cp []time.Duration, p float64) time.Duration {
 	if p <= 0 {
 		return cp[0]
 	}

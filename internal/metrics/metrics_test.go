@@ -1,9 +1,41 @@
 package metrics
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 )
+
+// TestPercentilesMatchesPercentile pins the sort-once helper to the
+// per-call form across sizes and edge ranks, including the empty and
+// out-of-range cases.
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	ps := []float64{-1, 0, 25, 50, 90, 99, 100, 150}
+	for _, n := range []int{0, 1, 2, 7, 100, 999} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		xs := make([]time.Duration, n)
+		for i := range xs {
+			xs[i] = time.Duration(rng.Intn(1_000_000))
+		}
+		got := Percentiles(xs, ps...)
+		if len(got) != len(ps) {
+			t.Fatalf("n=%d: got %d values, want %d", n, len(got), len(ps))
+		}
+		for i, p := range ps {
+			if want := Percentile(xs, p); got[i] != want {
+				t.Errorf("n=%d p=%v: Percentiles = %v, Percentile = %v", n, p, got[i], want)
+			}
+		}
+	}
+	// The input must not be reordered (callers keep their samples).
+	xs := []time.Duration{5, 1, 4, 2, 3}
+	Percentiles(xs, 50, 99)
+	for i, want := range []time.Duration{5, 1, 4, 2, 3} {
+		if xs[i] != want {
+			t.Fatalf("input mutated: %v", xs)
+		}
+	}
+}
 
 func TestMeanDuration(t *testing.T) {
 	if MeanDuration(nil) != 0 {

@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -279,7 +280,7 @@ func (s *Server) Submit(ctx context.Context, req workload.Request) (*Stream, err
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	snap := s.eng.Snapshot()
+	snap := s.eng.SnapshotTotals() // queue depths and clock only
 	if s.cfg.MaxQueue > 0 && snap.Pending+snap.Waiting >= s.cfg.MaxQueue {
 		s.mu.Unlock()
 		return nil, ErrQueueFull
@@ -361,8 +362,13 @@ func (s *Server) pump() {
 			s.failAll(err)
 			return
 		}
-		// Yield the lock so Submit/Cancel get a turn between steps.
+		// Yield the lock AND the processor so Submit/Cancel get a turn
+		// between steps: with the hot-path work per step now far below
+		// a scheduler quantum, a bare unlock/lock pair would let the
+		// pump re-acquire the mutex for thousands of steps before a
+		// blocked caller ever runs (GOMAXPROCS=1 ping-pong).
 		s.mu.Unlock()
+		runtime.Gosched()
 		s.mu.Lock()
 	}
 }
@@ -590,9 +596,9 @@ func (s *Server) Report() Report {
 	} else {
 		r.SLOAttainment = metrics.Fraction(goodFinishes, r.Finished)
 	}
-	r.P50TTFT = metrics.Percentile(ttfts, 50)
-	r.P99TTFT = metrics.Percentile(ttfts, 99)
-	r.P50E2E = metrics.Percentile(e2es, 50)
-	r.P99E2E = metrics.Percentile(e2es, 99)
+	tq := metrics.Percentiles(ttfts, 50, 99)
+	eq := metrics.Percentiles(e2es, 50, 99)
+	r.P50TTFT, r.P99TTFT = tq[0], tq[1]
+	r.P50E2E, r.P99E2E = eq[0], eq[1]
 	return r
 }

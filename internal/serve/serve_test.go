@@ -259,12 +259,15 @@ func TestServerClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Let it start.
+	// Let it start, then suspend the pump so Close is guaranteed to
+	// find the stream mid-generation (the step loop is fast enough to
+	// finish 50k decodes within a scheduler quantum otherwise).
 	for ev := range st.Events() {
 		if ev.Type == engine.EventFirstToken {
 			break
 		}
 	}
+	s.Pause()
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
