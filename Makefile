@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke fmt vet ci
+# Pinned staticcheck (matches the CI step; bump both together).
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: build test race bench bench-json bench-smoke fuzz staticcheck fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -20,12 +23,14 @@ bench:
 
 # Machine-readable scorecards, mirrored by the CI artifact uploads:
 # BENCH_serving.json is the online streaming benchmark under a
-# 4-replica overload with kv+slo admission; BENCH_core.json is the
-# allocator/engine hot-path trajectory (ns/op, allocs/op, sim anchor —
-# the baseline section in the committed file is preserved across runs).
+# 4-replica overload with kv+slo admission, one row per scheduling
+# policy (-sched all) on the identical seeded stream; BENCH_core.json
+# is the allocator/engine hot-path trajectory (ns/op, allocs/op, sim
+# anchor — the baseline section in the committed file is preserved
+# across runs).
 bench-json:
 	$(GO) run ./cmd/jengabench -stream -replicas 4 -requests 480 -rate 600 \
-		-slo-ttft 250ms -deadline 2s -admission kv+slo \
+		-slo-ttft 250ms -deadline 2s -admission kv+slo -sched all \
 		-bench-json BENCH_serving.json
 	$(GO) run ./cmd/jengabench -bench-core -bench-json BENCH_core.json
 
@@ -33,6 +38,17 @@ bench-json:
 # so the committed perf trajectory cannot rot.
 bench-smoke:
 	$(GO) test -run NONE -bench=. -benchtime=1x .
+
+# Timed fuzz over the core free pool (the CI fuzz step): the seeded
+# corpus always runs as part of `make test`; this explores beyond it.
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzFreePool -fuzztime 5s ./internal/core
+
+# Static analysis, pinned so local runs and CI agree. `go run pkg@ver`
+# needs module-proxy access; offline environments get the plain-vet
+# coverage from `make vet` instead.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 fmt:
 	gofmt -w .

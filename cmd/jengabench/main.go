@@ -33,11 +33,13 @@ import (
 	"strings"
 	"time"
 
+	"jenga/internal/bench"
 	"jenga/internal/cluster"
 	"jenga/internal/engine"
 	"jenga/internal/experiments"
 	"jenga/internal/gpu"
 	"jenga/internal/model"
+	"jenga/internal/sched"
 	"jenga/internal/workload"
 )
 
@@ -58,12 +60,14 @@ func main() {
 		groups    = flag.Int("prefix-groups", 0, "shared-prefix classes (default 4×replicas-1)")
 		prefixLen = flag.Int("prefix-len", 1024, "shared-prefix length in tokens")
 
-		benchCore = flag.Bool("bench-core", false, "run the core hot-path micro-benchmarks and write BENCH_core.json (path via -bench-json)")
-		stream    = flag.Bool("stream", false, "run the online streaming-serving benchmark (event-driven core, live routing, admission)")
-		sloTTFT   = flag.Duration("slo-ttft", 750*time.Millisecond, "stream-mode TTFT target for SLO attainment and the slo admission policy")
-		deadline  = flag.Duration("deadline", 0, "stream-mode per-request E2E deadline for goodput (0 = none)")
-		admission = flag.String("admission", "none", "stream-mode admission policy: none, kv, slo or a + chain like kv+slo")
-		benchJSON = flag.String("bench-json", "", "write the stream-mode scorecard to this JSON file (BENCH_serving.json)")
+		benchCore   = flag.Bool("bench-core", false, "run the core hot-path micro-benchmarks and write BENCH_core.json (path via -bench-json)")
+		stream      = flag.Bool("stream", false, "run the online streaming-serving benchmark (event-driven core, live routing, admission)")
+		sloTTFT     = flag.Duration("slo-ttft", 750*time.Millisecond, "stream-mode TTFT target for SLO attainment and the slo admission policy")
+		deadline    = flag.Duration("deadline", 0, "stream-mode per-request E2E deadline for goodput (0 = none)")
+		admission   = flag.String("admission", "none", "stream-mode admission policy: none, kv, slo or a + chain like kv+slo")
+		schedName   = flag.String("sched", "fcfs", "stream-mode scheduling policy: fcfs, priority, sjf, fairshare (optional :<frac> prefill reserve) or all")
+		prioClasses = flag.Int("prio-classes", 2, "stream-mode priority classes: request i gets priority i mod N (1 = all equal)")
+		benchJSON   = flag.String("bench-json", "", "write the stream-mode scorecard to this JSON file (BENCH_serving.json)")
 	)
 	flag.Parse()
 	if *benchCore {
@@ -99,7 +103,7 @@ func main() {
 			routerName = "affinity"
 		}
 		if err := runStream(n, routerName, *modelName, *device, *requests, r, *groups, *prefixLen, *seed,
-			*sloTTFT, *deadline, *admission, *benchJSON); err != nil {
+			*sloTTFT, *deadline, *admission, *schedName, *prioClasses, *benchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -235,38 +239,51 @@ func runCluster(replicas int, router, modelName, device string, requests int, ra
 }
 
 // servingBench is the machine-readable BENCH_serving.json schema: the
-// serving scorecard tracked across PRs.
+// serving scorecard tracked across PRs, one row per scheduling policy
+// on the identical seeded workload.
 type servingBench struct {
-	Model     string  `json:"model"`
-	Device    string  `json:"device"`
-	Replicas  int     `json:"replicas"`
-	Router    string  `json:"router"`
-	Admission string  `json:"admission"`
-	Requests  int     `json:"requests"`
-	RatePerS  float64 `json:"rate_per_s"`
-	SLOTTFTMs float64 `json:"slo_ttft_ms"`
+	Model       string  `json:"model"`
+	Device      string  `json:"device"`
+	Replicas    int     `json:"replicas"`
+	Router      string  `json:"router"`
+	Admission   string  `json:"admission"`
+	Requests    int     `json:"requests"`
+	RatePerS    float64 `json:"rate_per_s"`
+	SLOTTFTMs   float64 `json:"slo_ttft_ms"`
+	PrioClasses int     `json:"prio_classes"`
 
-	ReqPerSec     float64 `json:"req_per_s"`
-	Goodput       float64 `json:"goodput_per_s"`
-	SLOAttainment float64 `json:"slo_attainment"`
-	ShedRate      float64 `json:"shed_rate"`
-	P50TTFTMs     float64 `json:"p50_ttft_ms"`
-	P99TTFTMs     float64 `json:"p99_ttft_ms"`
-	P50E2EMs      float64 `json:"p50_e2e_ms"`
-	P99E2EMs      float64 `json:"p99_e2e_ms"`
-	HitRate       float64 `json:"hit_rate"`
-	MeanKVUtil    float64 `json:"mean_kv_util"`
-	Imbalance     float64 `json:"imbalance"`
-	Finished      int     `json:"finished"`
-	Failed        int     `json:"failed"`
-	Shed          int     `json:"shed"`
+	Policies []servingPolicyBench `json:"policies"`
+}
+
+// servingPolicyBench is one scheduling policy's scorecard row.
+type servingPolicyBench struct {
+	Scheduler          string  `json:"scheduler"`
+	ReqPerSec          float64 `json:"req_per_s"`
+	Goodput            float64 `json:"goodput_per_s"`
+	SLOAttainment      float64 `json:"slo_attainment"`
+	ShedRate           float64 `json:"shed_rate"`
+	P50TTFTMs          float64 `json:"p50_ttft_ms"`
+	P99TTFTMs          float64 `json:"p99_ttft_ms"`
+	P50E2EMs           float64 `json:"p50_e2e_ms"`
+	P99E2EMs           float64 `json:"p99_e2e_ms"`
+	HitRate            float64 `json:"hit_rate"`
+	MeanKVUtil         float64 `json:"mean_kv_util"`
+	Imbalance          float64 `json:"imbalance"`
+	GroupJain          float64 `json:"group_jain"`
+	MaxGroupMeanTTFTMs float64 `json:"max_group_mean_ttft_ms"`
+	Finished           int     `json:"finished"`
+	Failed             int     `json:"failed"`
+	Shed               int     `json:"shed"`
 }
 
 // runStream runs the online streaming-serving benchmark: a
-// shared-prefix Poisson stream through ServeOnline, where routing sees
-// live replica state and admission sheds at arrival.
+// shared-prefix Poisson stream through ServeOnline — routing sees live
+// replica state, admission sheds at arrival — once per scheduling
+// policy on the identical seeded workload, so the scorecard compares
+// policies directly.
 func runStream(replicas int, router, modelName, device string, requests int, rate float64,
-	groups, prefixLen int, seed int64, sloTTFT, deadline time.Duration, admission, benchJSON string) error {
+	groups, prefixLen int, seed int64, sloTTFT, deadline time.Duration,
+	admission, schedName string, prioClasses int, benchJSON string) error {
 	spec, err := model.ByName(modelName)
 	if err != nil {
 		return err
@@ -283,68 +300,81 @@ func runStream(replicas int, router, modelName, device string, requests int, rat
 	if err != nil {
 		return err
 	}
+	schedNames := []string{schedName}
+	if schedName == "all" {
+		schedNames = []string{"fcfs", "priority", "sjf", "fairshare"}
+	}
+	schedulers := make([]sched.Scheduler, len(schedNames))
+	for i, name := range schedNames {
+		s, err := sched.ParseScheduler(name)
+		if err != nil {
+			return err
+		}
+		schedulers[i] = s
+	}
 	if groups <= 0 {
 		groups = 4*replicas - 1
-	}
-	perGroup := requests / groups
-	if perGroup < 1 {
-		perGroup = 1
-	}
-	gen := workload.NewGen(seed)
-	reqs := gen.PrefixGroups(groups, perGroup, prefixLen, 128)
-	gen.PoissonArrivals(reqs, rate)
-	if deadline > 0 {
-		workload.SetDeadlines(reqs, deadline)
-	}
-	c, err := cluster.New(cluster.Config{
-		Spec: spec, Device: dev, Replicas: replicas, Policy: policy,
-		Admission: adm, SLOTTFT: sloTTFT,
-	})
-	if err != nil {
-		return err
 	}
 	admName := "none"
 	if adm != nil {
 		admName = adm.Name()
 	}
-	fmt.Printf("stream: %d × %s on %s, %d requests at %.0f req/s, router %s, admission %s, slo-ttft %v\n",
-		replicas, spec.Name, dev.Name, len(reqs), rate, policy, admName, sloTTFT)
-	start := time.Now()
-	res, err := c.ServeOnline(reqs)
-	if err != nil {
-		return err
+	opt := bench.ServingOptions{
+		Spec: spec, Device: dev, Replicas: replicas, Router: policy,
+		Admission: adm, Requests: requests, Rate: rate,
+		Groups: groups, PrefixLen: prefixLen, SuffixLen: 128,
+		PrioClasses: prioClasses, SLOTTFT: sloTTFT, Deadline: deadline, Seed: seed,
 	}
-	fmt.Printf("%-12s %9s %9s %10s %9s %10s %10s %8s %8s\n",
-		"req/s", "goodput", "slo-att", "shed", "p50 TTFT", "p99 TTFT", "p99 E2E", "hit", "kv-util")
-	fmt.Printf("%-12.1f %9.1f %8.1f%% %9.1f%% %9s %10s %10s %7.1f%% %7.1f%%\n",
-		res.ReqPerSec, res.Goodput, 100*res.SLOAttainment,
-		100*float64(res.Shed)/float64(len(reqs)),
-		res.P50TTFT.Round(time.Millisecond), res.P99TTFT.Round(time.Millisecond),
-		res.P99E2E.Round(time.Millisecond), 100*res.HitRate, 100*res.MeanKVUtil)
-	fmt.Printf("finished %d, failed %d, shed %d  [%v wall]\n",
-		res.Finished, res.Failed, res.Shed, time.Since(start).Round(time.Millisecond))
+	nReqs := opt.RequestCount()
+	fmt.Printf("stream: %d × %s on %s, %d requests at %.0f req/s, router %s, admission %s, slo-ttft %v, %d priority classes\n",
+		replicas, spec.Name, dev.Name, nReqs, rate, policy, admName, sloTTFT, prioClasses)
+	fmt.Printf("%-12s %8s %9s %9s %7s %10s %10s %10s %7s %8s %6s\n",
+		"scheduler", "req/s", "goodput", "slo-att", "shed", "p50 TTFT", "p99 TTFT", "p99 E2E", "hit", "kv-util", "jain")
+	out := servingBench{
+		Model: spec.Name, Device: dev.Name, Replicas: replicas,
+		Router: policy.String(), Admission: admName,
+		Requests: nReqs, RatePerS: rate,
+		SLOTTFTMs:   float64(sloTTFT) / float64(time.Millisecond),
+		PrioClasses: prioClasses,
+	}
+	for _, scheduler := range schedulers {
+		opt.Scheduler = scheduler
+		start := time.Now()
+		res, err := bench.RunServing(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %8.1f %9.1f %8.1f%% %6.1f%% %10s %10s %10s %6.1f%% %7.1f%% %6.3f  [%v wall]\n",
+			scheduler.Name(), res.ReqPerSec, res.Goodput, 100*res.SLOAttainment,
+			100*float64(res.Shed)/float64(nReqs),
+			res.P50TTFT.Round(time.Millisecond), res.P99TTFT.Round(time.Millisecond),
+			res.P99E2E.Round(time.Millisecond), 100*res.HitRate, 100*res.MeanKVUtil,
+			res.GroupJain, time.Since(start).Round(time.Millisecond))
+		if res.Failed > 0 {
+			fmt.Printf("  (%d requests failed)\n", res.Failed)
+		}
+		out.Policies = append(out.Policies, servingPolicyBench{
+			Scheduler:          scheduler.Name(),
+			ReqPerSec:          res.ReqPerSec,
+			Goodput:            res.Goodput,
+			SLOAttainment:      res.SLOAttainment,
+			ShedRate:           float64(res.Shed) / float64(nReqs),
+			P50TTFTMs:          float64(res.P50TTFT) / float64(time.Millisecond),
+			P99TTFTMs:          float64(res.P99TTFT) / float64(time.Millisecond),
+			P50E2EMs:           float64(res.P50E2E) / float64(time.Millisecond),
+			P99E2EMs:           float64(res.P99E2E) / float64(time.Millisecond),
+			HitRate:            res.HitRate,
+			MeanKVUtil:         res.MeanKVUtil,
+			Imbalance:          res.Imbalance,
+			GroupJain:          res.GroupJain,
+			MaxGroupMeanTTFTMs: float64(res.MaxGroupMeanTTFT) / float64(time.Millisecond),
+			Finished:           res.Finished, Failed: res.Failed, Shed: res.Shed,
+		})
+	}
 	if benchJSON == "" {
 		return nil
 	}
-	bench := servingBench{
-		Model: spec.Name, Device: dev.Name, Replicas: replicas,
-		Router: policy.String(), Admission: admName,
-		Requests: len(reqs), RatePerS: rate,
-		SLOTTFTMs:     float64(sloTTFT) / float64(time.Millisecond),
-		ReqPerSec:     res.ReqPerSec,
-		Goodput:       res.Goodput,
-		SLOAttainment: res.SLOAttainment,
-		ShedRate:      float64(res.Shed) / float64(len(reqs)),
-		P50TTFTMs:     float64(res.P50TTFT) / float64(time.Millisecond),
-		P99TTFTMs:     float64(res.P99TTFT) / float64(time.Millisecond),
-		P50E2EMs:      float64(res.P50E2E) / float64(time.Millisecond),
-		P99E2EMs:      float64(res.P99E2E) / float64(time.Millisecond),
-		HitRate:       res.HitRate,
-		MeanKVUtil:    res.MeanKVUtil,
-		Imbalance:     res.Imbalance,
-		Finished:      res.Finished, Failed: res.Failed, Shed: res.Shed,
-	}
-	buf, err := json.MarshalIndent(bench, "", "  ")
+	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"time"
+
+	"jenga/internal/cluster"
+	"jenga/internal/engine"
+	"jenga/internal/gpu"
+	"jenga/internal/model"
+	"jenga/internal/sched"
+	"jenga/internal/workload"
+)
+
+// ServingOptions configures one run of the streaming-serving policy
+// benchmark: a seeded shared-prefix Poisson stream with priority
+// classes and deadlines, driven through a fresh cluster's online path
+// under one scheduling policy. jengabench -stream runs it once per
+// -sched value so BENCH_serving.json records a per-policy
+// goodput/SLO-attainment row.
+type ServingOptions struct {
+	// Spec and Device describe the replicas (required Spec; zero
+	// Device means H100).
+	Spec   *model.Spec
+	Device gpu.Device
+	// Replicas is the fleet size (min 1).
+	Replicas int
+	// Router places arrivals; Admission and Scheduler forward to
+	// every replica engine.
+	Router    cluster.RouterPolicy
+	Admission engine.AdmissionPolicy
+	Scheduler sched.Scheduler
+	// Requests, Rate, Groups, PrefixLen and SuffixLen shape the
+	// shared-prefix workload (Rate in req/s; Groups distinct shared
+	// prefixes).
+	Requests  int
+	Rate      float64
+	Groups    int
+	PrefixLen int
+	SuffixLen int
+	// PrioClasses assigns request i priority i mod PrioClasses
+	// (≤1 leaves every priority 0).
+	PrioClasses int
+	// SLOTTFT is the fleet TTFT target; Deadline the per-request E2E
+	// budget (0 = none).
+	SLOTTFT  time.Duration
+	Deadline time.Duration
+	// Seed drives the deterministic workload generator.
+	Seed int64
+}
+
+// RequestCount is the number of requests ServingWorkload generates
+// (Requests rounded to whole prefix groups), without generating them.
+func (o ServingOptions) RequestCount() int {
+	perGroup := o.Requests / o.Groups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	return o.Groups * perGroup
+}
+
+// ServingWorkload builds the options' seeded request stream: prefix
+// groups, Poisson arrivals, round-robin priority classes, uniform
+// deadlines.
+func ServingWorkload(o ServingOptions) []workload.Request {
+	perGroup := o.Requests / o.Groups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	gen := workload.NewGen(o.Seed)
+	reqs := gen.PrefixGroups(o.Groups, perGroup, o.PrefixLen, o.SuffixLen)
+	gen.PoissonArrivals(reqs, o.Rate)
+	if o.PrioClasses > 1 {
+		for i := range reqs {
+			reqs[i].Priority = i % o.PrioClasses
+		}
+	}
+	if o.Deadline > 0 {
+		workload.SetDeadlines(reqs, o.Deadline)
+	}
+	return reqs
+}
+
+// RunServing drives the options' workload through a fresh cluster's
+// ServeOnline: routing sees live replica state, admission sheds at
+// arrival, the scheduler orders admission and preemption. A fresh
+// cluster per call keeps policies comparable — every policy starts
+// from cold caches on the identical seeded stream.
+func RunServing(o ServingOptions) (*cluster.Result, error) {
+	c, err := cluster.New(cluster.Config{
+		Spec:      o.Spec,
+		Device:    o.Device,
+		Replicas:  o.Replicas,
+		Policy:    o.Router,
+		Admission: o.Admission,
+		Scheduler: o.Scheduler,
+		SLOTTFT:   o.SLOTTFT,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.ServeOnline(ServingWorkload(o))
+}

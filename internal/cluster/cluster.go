@@ -39,6 +39,7 @@ import (
 	"jenga/internal/gpu"
 	"jenga/internal/metrics"
 	"jenga/internal/model"
+	"jenga/internal/sched"
 	"jenga/internal/workload"
 )
 
@@ -75,6 +76,15 @@ type Config struct {
 	// online serving sheds at each request's arrival instant against
 	// that replica's live memory and queue state. Nil admits all.
 	Admission engine.AdmissionPolicy
+	// Scheduler forwards a scheduling policy (admission order,
+	// preemption victims, prefill/decode budget) to every replica
+	// engine. Nil means FCFS, the historical behavior.
+	Scheduler sched.Scheduler
+	// NewScheduler, when set, overrides Scheduler per replica — a
+	// heterogeneous fleet can run, say, one SJF latency replica next
+	// to FairShare bulk replicas. Returning nil for a replica falls
+	// back to Scheduler (and from there to FCFS).
+	NewScheduler func(replica int) sched.Scheduler
 	// SLOTTFT is the fleet time-to-first-token target SLO attainment
 	// is measured against (0: attainment over per-request deadlines).
 	SLOTTFT time.Duration
@@ -128,6 +138,20 @@ type Result struct {
 	// or under Config.SLOTTFT (with no target: the fraction meeting
 	// their own deadlines; 1 when neither is set).
 	SLOAttainment float64
+	// GroupJain is Jain's fairness index over per-group (tenant)
+	// served tokens across the whole fleet: 1.0 means every prefix
+	// group received an even share of the fleet's work, 1/groups
+	// means one group got everything. 1 when no request finished or
+	// no request carries a group label.
+	GroupJain float64
+	// MaxGroupMeanTTFT is the worst per-group mean TTFT — the
+	// starvation indicator a fair scheduler bounds: under overload a
+	// starving tenant's mean TTFT grows without bound while the
+	// fleet-wide mean stays flat.
+	MaxGroupMeanTTFT time.Duration
+	// StarvedGroups counts groups that were routed at least one
+	// request but finished none.
+	StarvedGroups int
 	// PerReplica holds each replica's share, indexed by replica.
 	PerReplica []ReplicaResult
 }
@@ -189,6 +213,12 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d manager: %w", i, err)
 		}
+		scheduler := cfg.Scheduler
+		if cfg.NewScheduler != nil {
+			if s := cfg.NewScheduler(i); s != nil {
+				scheduler = s
+			}
+		}
 		eng, err := engine.New(engine.Config{
 			Spec:           cfg.Spec,
 			Device:         cfg.Device,
@@ -197,6 +227,7 @@ func New(cfg Config) (*Cluster, error) {
 			MaxRunning:     cfg.MaxRunning,
 			MaxPrefills:    cfg.MaxPrefills,
 			Admission:      cfg.Admission,
+			Scheduler:      scheduler,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d engine: %w", i, err)
@@ -292,11 +323,25 @@ func (c *Cluster) Serve(reqs []workload.Request) (*Result, error) {
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
-	return c.aggregate(loads, results), nil
+	return c.aggregate(loads, results, groupCounts(reqs)), nil
+}
+
+// groupCounts tallies the request stream by group label (every
+// request is routed somewhere, so this is the fleet's routed-group
+// census).
+func groupCounts(reqs []workload.Request) map[int64]int {
+	out := make(map[int64]int)
+	for i := range reqs {
+		out[reqs[i].Group]++
+	}
+	return out
 }
 
 // aggregate folds per-replica results into the fleet view.
-func (c *Cluster) aggregate(loads []Load, results []*engine.Result) *Result {
+// routedGroups maps each group label to the number of requests routed
+// anywhere in the fleet (starvation accounting needs the groups that
+// got nothing back).
+func (c *Cluster) aggregate(loads []Load, results []*engine.Result, routedGroups map[int64]int) *Result {
 	out := &Result{
 		Policy:   c.router.Name(),
 		Replicas: len(results),
@@ -305,6 +350,12 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result) *Result {
 	var ttfts, e2es []time.Duration
 	deadlineMet := 0
 	shares := make([]float64, len(results))
+	type groupAcc struct {
+		tokens   int64
+		finished int
+		ttftSum  time.Duration
+	}
+	groups := make(map[int64]*groupAcc)
 	for i, res := range results {
 		shares[i] = float64(loads[i].RoutedTokens)
 		out.PerReplica = append(out.PerReplica, ReplicaResult{
@@ -329,6 +380,28 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result) *Result {
 			if rm.Deadline == 0 || rm.E2E <= rm.Deadline {
 				deadlineMet++
 			}
+			g := groups[rm.Group]
+			if g == nil {
+				g = &groupAcc{}
+				groups[rm.Group] = g
+			}
+			g.tokens += int64(rm.Tokens)
+			g.finished++
+			g.ttftSum += rm.TTFT
+		}
+	}
+	// Cross-replica fairness and starvation over prefix groups.
+	groupTokens := make([]float64, 0, len(groups))
+	for _, g := range groups {
+		groupTokens = append(groupTokens, float64(g.tokens))
+		if mean := g.ttftSum / time.Duration(g.finished); mean > out.MaxGroupMeanTTFT {
+			out.MaxGroupMeanTTFT = mean
+		}
+	}
+	out.GroupJain = metrics.Jain(groupTokens)
+	for g, routed := range routedGroups {
+		if routed > 0 && groups[g] == nil {
+			out.StarvedGroups++
 		}
 	}
 	if n := len(results); n > 0 {

@@ -102,5 +102,5 @@ func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
 			return nil, err
 		}
 	}
-	return c.aggregate(loads, results), nil
+	return c.aggregate(loads, results, groupCounts(reqs)), nil
 }

@@ -1,10 +1,14 @@
 // Package engine simulates a continuous-batching LLM serving engine in
-// the style of vLLM: FIFO admission, chunked prefill under a token
-// budget, one-token decode steps for running sequences, and
+// the style of vLLM: policy-ordered admission, chunked prefill under a
+// token budget, one-token decode steps for running sequences, and
 // recompute-style preemption when memory runs out. The engine is
 // manager-agnostic — Jenga and the PagedAttention baselines plug in
 // through core.Manager, so experiments vary only memory management,
-// exactly as the paper's evaluation does.
+// exactly as the paper's evaluation does. It is likewise
+// policy-agnostic about scheduling: admission order, preemption victim
+// selection and the prefill/decode budget split all delegate to a
+// pluggable sched.Scheduler (default FCFS, the historical behavior);
+// the engine itself encodes no priority or arrival-order comparison.
 //
 // Time is simulated: each step's duration comes from the gpu.CostModel,
 // so results are deterministic and hardware-independent.
@@ -32,6 +36,7 @@ import (
 	"jenga/internal/core"
 	"jenga/internal/gpu"
 	"jenga/internal/model"
+	"jenga/internal/sched"
 	"jenga/internal/workload"
 )
 
@@ -80,6 +85,15 @@ type Config struct {
 	// whether it is queued or shed (see AdmissionPolicy). Nil admits
 	// everything.
 	Admission AdmissionPolicy
+	// Scheduler is the scheduling policy: admission order, preemption
+	// victim selection and the prefill/decode budget split all
+	// delegate to it (see internal/sched). Nil means sched.NewFCFS(),
+	// which is priority-blind pure arrival order — bit-identical to
+	// the historical engine for the default all-zero priorities.
+	// Workloads that set Request.Priority must configure
+	// sched.NewPriority() (or another priority-aware policy) for the
+	// field to take effect.
+	Scheduler sched.Scheduler
 	// SampleEvery records a memory-usage sample every N steps
 	// (0 disables the timeline).
 	SampleEvery int
@@ -104,6 +118,13 @@ type RequestMetrics struct {
 	// Deadline is the request's E2E budget (0 = none); goodput counts
 	// only finished requests with E2E within it.
 	Deadline time.Duration
+	// Group and Priority echo the request's tenant label and
+	// scheduling class; cluster aggregation computes per-group
+	// fairness and per-priority breakdowns from them.
+	Group    int64
+	Priority int
+	// Tokens is the request's served work: prompt plus output tokens.
+	Tokens int
 }
 
 // kvUtilEvery is the step stride for KV-utilization sampling (cheap
@@ -259,6 +280,16 @@ type Engine struct {
 	// steps so the steady-state step loop allocates nothing.
 	stepScratch []*run
 	committers  []*run
+
+	// scheduler is the resolved scheduling policy (never nil) and
+	// schedView the reusable read-only view it decides on; policyView
+	// repopulates it before every delegated decision. admPreempt
+	// caches whether the policy can preempt for blocked admissions,
+	// so the step loop skips that phase entirely for policies (like
+	// the default FCFS) that never do.
+	scheduler  sched.Scheduler
+	schedView  sched.View
+	admPreempt bool
 }
 
 // New validates the config and builds an engine.
@@ -282,9 +313,14 @@ func New(cfg Config) (*Engine, error) {
 		cfg.Device = gpu.H100()
 	}
 	e := &Engine{
-		cfg:  cfg,
-		cost: gpu.CostModel{Dev: cfg.Device, Spec: cfg.Spec},
+		cfg:       cfg,
+		cost:      gpu.CostModel{Dev: cfg.Device, Spec: cfg.Spec},
+		scheduler: cfg.Scheduler,
 	}
+	if e.scheduler == nil {
+		e.scheduler = sched.NewFCFS()
+	}
+	e.admPreempt = sched.CanAdmissionPreempt(e.scheduler)
 	// 2 FLOPs per active parameter per token, compute-bound: the same
 	// first-order term the cost model charges per scheduled token.
 	if f := cfg.Device.FLOPS; f > 0 {
@@ -389,12 +425,52 @@ func (e *Engine) runStep() bool {
 	committers := e.committers[:0]
 	decodeBatch := 0
 
+	// The scheduler splits the step budget between the decode and
+	// prefill paths; the historical policy (DefaultSplit) is a shared
+	// budget consumed decode-first.
+	split := e.scheduler.PrefillBudget(e.policyView(), budget)
+	decodeLeft := clampBudget(split.Decode, budget)
+	prefillLeft := clampBudget(split.Prefill, budget)
+
+	// Phase 0: blocked-admission preemption. This must run before any
+	// work is scheduled — once a run's commit is in flight it is
+	// preemption-immune, so by admission time (phase 3) every decode
+	// scheduled this step is untouchable and a blocked high-priority
+	// arrival could never get in. Here nothing is in flight yet: the
+	// policy may evict running victims for the admission candidate it
+	// would pick. Policies that never preempt at admission (FCFS,
+	// SJF, FairShare — and the historical engine) skip the phase
+	// entirely via the cached AdmissionPreempter capability; one view
+	// fill serves both the pick and the victim call of an iteration
+	// (nothing mutates between them).
+	if e.admPreempt && len(e.waiting) > 0 && len(e.running) > 0 {
+		for {
+			v := e.policyView()
+			idx := e.scheduler.PickWaiting(v)
+			if idx < 0 || idx >= len(e.waiting) {
+				idx = 0
+			}
+			cand := e.waiting[idx]
+			if e.admissionFits(cand) {
+				break
+			}
+			if !e.admissionFeasible(cand) {
+				break // could never fit: evicting the fleet cannot help
+			}
+			victim := e.validVictim(e.scheduler.VictimFor(e.reqInfo(cand, true), v), cand.req.ID)
+			if victim == nil {
+				break
+			}
+			e.preempt(victim)
+		}
+	}
+
 	// Phase 1: one decode slot per running decode-phase sequence. The
 	// running list can shrink mid-loop (reserveWithPreemption), so
 	// iterate a reused snapshot and skip runs a preemption removed.
 	e.stepScratch = append(e.stepScratch[:0], e.running...)
 	for _, r := range e.stepScratch {
-		if r.ph != phaseDecode || budget <= 0 {
+		if r.ph != phaseDecode || budget <= 0 || decodeLeft <= 0 {
 			continue
 		}
 		if !r.alive {
@@ -411,6 +487,7 @@ func (e *Engine) runStep() bool {
 		r.scheduledStep = e.step
 		committers = append(committers, r)
 		budget--
+		decodeLeft--
 		decodeBatch++
 		work.DecodeSeqs++
 		work.KVReadBytes += gpu.DecodeKVReadBytesSplit(e.cfg.Spec, r.ctxText, r.ctxImg)
@@ -420,33 +497,52 @@ func (e *Engine) runStep() bool {
 	// Prefill continuation never preempts — it waits for decodes to
 	// drain or for the decode path to preempt on its behalf.
 	for _, r := range e.running {
-		if r.ph != phasePrefill || budget <= 0 {
+		if r.ph != phasePrefill || budget <= 0 || prefillLeft <= 0 {
 			continue
 		}
-		chunk := e.schedulePrefill(r, budget, now, &work)
+		chunk := e.schedulePrefill(r, min(budget, prefillLeft), now, &work)
 		if chunk > 0 {
 			budget -= chunk
+			prefillLeft -= chunk
 			committers = append(committers, r)
 		}
 	}
 
-	// Phase 3: admission of waiting requests. A request is admitted
-	// only when its whole steady-state footprint fits in free plus
-	// evictable memory (vLLM's can_allocate check) — otherwise chunked
-	// prefill would over-admit and thrash on recompute-preemption.
+	// Phase 3: admission of waiting requests, in the scheduler's
+	// order. A request is admitted only when its whole steady-state
+	// footprint fits in free plus evictable memory (vLLM's
+	// can_allocate check) — otherwise chunked prefill would over-admit
+	// and thrash on recompute-preemption. A policy may resolve a
+	// blocked admission by preempting a running victim (strict
+	// priority); the historical policies never do.
 	prefills := 0
 	for _, r := range e.running {
 		if r.ph == phasePrefill {
 			prefills++
 		}
 	}
-	for budget > 0 && len(e.waiting) > 0 && len(e.running) < e.cfg.MaxRunning &&
+	for budget > 0 && prefillLeft > 0 && len(e.waiting) > 0 && len(e.running) < e.cfg.MaxRunning &&
 		prefills < e.cfg.MaxPrefills {
 		idx := e.pickWaiting()
 		r := e.waiting[idx]
-		u := e.cfg.Manager.UsageTotals()
-		watermark := e.cfg.Manager.Capacity() / 100
-		if e.cfg.Manager.Footprint(r.seq) > u.Free+u.Cached-watermark {
+		blocked := false
+		for !e.admissionFits(r) {
+			if !e.admPreempt || !e.admissionFeasible(r) {
+				blocked = true
+				break
+			}
+			victim := e.victimFor(e.reqInfo(r, true))
+			if victim == nil {
+				blocked = true
+				break
+			}
+			if victim.ph == phasePrefill {
+				prefills--
+			}
+			e.preempt(victim)
+			idx++ // preempt prepended the victim to the waiting queue
+		}
+		if blocked {
 			break
 		}
 		prefills++
@@ -460,7 +556,7 @@ func (e *Engine) runStep() bool {
 		if !r.started {
 			r.started = true
 		}
-		chunk := e.schedulePrefill(r, budget, now, &work)
+		chunk := e.schedulePrefill(r, min(budget, prefillLeft), now, &work)
 		if chunk == 0 {
 			// Could not reserve the first chunk: admission is
 			// all-or-nothing, so drop any partial reservation (a
@@ -477,6 +573,7 @@ func (e *Engine) runStep() bool {
 			break
 		}
 		budget -= chunk
+		prefillLeft -= chunk
 		committers = append(committers, r)
 	}
 
@@ -617,16 +714,17 @@ func (e *Engine) imagesRemaining(r *run) bool {
 	return false
 }
 
-// reserveWithPreemption tries to reserve KV for r, evicting lower-
-// priority (later-arrived) running sequences when memory runs out —
-// vLLM's recompute preemption.
+// reserveWithPreemption tries to reserve KV for r, recompute-
+// preempting the scheduler's chosen victims when memory runs out —
+// vLLM's recompute preemption with the victim order delegated to the
+// scheduling policy.
 func (e *Engine) reserveWithPreemption(r *run, upTo int, now core.Tick) bool {
 	for {
 		err := e.cfg.Manager.Reserve(r.seq, upTo, now)
 		if err == nil {
 			return true
 		}
-		victim := e.preemptionVictim(r)
+		victim := e.victimFor(e.reqInfo(r, false))
 		if victim == nil {
 			return false
 		}
@@ -634,35 +732,116 @@ func (e *Engine) reserveWithPreemption(r *run, upTo int, now core.Tick) bool {
 	}
 }
 
-// preemptionVictim picks the lowest-priority, then latest-arrived
-// running sequence other than r (vLLM evicts from the tail; priority
-// shields higher-priority requests). Sequences already scheduled in
-// the current step are immune — their commits are in flight.
-func (e *Engine) preemptionVictim(r *run) *run {
-	var victim *run
-	for _, c := range e.running {
-		if c == r || c.scheduledStep == e.step {
-			continue
-		}
-		if victim == nil || c.req.Priority < victim.req.Priority ||
-			(c.req.Priority == victim.req.Priority && c.req.Arrival > victim.req.Arrival) {
-			victim = c
-		}
+// victimFor asks the scheduler for requester's preemption victim.
+func (e *Engine) victimFor(requester sched.ReqInfo) *run {
+	return e.validVictim(e.scheduler.VictimFor(requester, e.policyView()), requester.ID)
+}
+
+// validVictim validates a scheduler's victim pick: out-of-range
+// indices, the requester itself and runs whose commits are in flight
+// this step are all treated as "no victim", so a broken custom policy
+// degrades to a failed reservation instead of corrupting the step.
+func (e *Engine) validVictim(idx int, requesterID int64) *run {
+	if idx < 0 || idx >= len(e.running) {
+		return nil
+	}
+	victim := e.running[idx]
+	if victim.req.ID == requesterID || victim.scheduledStep == e.step {
+		return nil
 	}
 	return victim
 }
 
-// pickWaiting returns the index of the next admission candidate: the
-// highest-priority waiting request, FIFO within a priority level (so
-// the default all-zero priorities preserve strict arrival order).
+// pickWaiting returns the index of the next admission candidate in
+// the scheduler's order, clamped defensively to the queue front.
 func (e *Engine) pickWaiting() int {
-	best := 0
-	for i := 1; i < len(e.waiting); i++ {
-		if e.waiting[i].req.Priority > e.waiting[best].req.Priority {
-			best = i
-		}
+	idx := e.scheduler.PickWaiting(e.policyView())
+	if idx < 0 || idx >= len(e.waiting) {
+		return 0
 	}
-	return best
+	return idx
+}
+
+// admissionFits reports whether r's whole steady-state footprint fits
+// in free plus evictable memory, keeping a 1% watermark clear.
+func (e *Engine) admissionFits(r *run) bool {
+	u := e.cfg.Manager.UsageTotals()
+	watermark := e.cfg.Manager.Capacity() / 100
+	return e.cfg.Manager.Footprint(r.seq) <= u.Free+u.Cached-watermark
+}
+
+// admissionFeasible reports whether r could fit even on an idle
+// engine: its footprint within total capacity minus the watermark.
+// Admission-time preemption must not fire for infeasible candidates —
+// recompute-preempting the entire running set could not make room, so
+// one impossible arrival must not wipe the fleet's in-flight work.
+func (e *Engine) admissionFeasible(r *run) bool {
+	capacity := e.cfg.Manager.Capacity()
+	return e.cfg.Manager.Footprint(r.seq) <= capacity-capacity/100
+}
+
+// policyView repopulates the reusable scheduler view from the live
+// queues. Slices are reused so steady-state steps allocate nothing.
+func (e *Engine) policyView() *sched.View {
+	v := &e.schedView
+	v.Clock = e.clock
+	v.Step = e.step
+	v.Usage = e.cfg.Manager.UsageTotals()
+	v.Capacity = e.cfg.Manager.Capacity()
+	v.Waiting = v.Waiting[:0]
+	for _, r := range e.waiting {
+		v.Waiting = append(v.Waiting, e.reqInfo(r, true))
+	}
+	v.Running = v.Running[:0]
+	for _, r := range e.running {
+		v.Running = append(v.Running, e.reqInfo(r, false))
+	}
+	return v
+}
+
+// reqInfo summarizes one run for the scheduler.
+func (e *Engine) reqInfo(r *run, waiting bool) sched.ReqInfo {
+	info := sched.ReqInfo{
+		ID:        r.req.ID,
+		Priority:  r.req.Priority,
+		Arrival:   r.req.Arrival,
+		Deadline:  r.req.Deadline,
+		Group:     r.req.Group,
+		PromptLen: r.promptLen(),
+		OutputLen: r.req.OutputLen,
+		Waiting:   waiting,
+	}
+	// Remaining work: uncommitted tokens (a recompute pass after
+	// preemption covers generated tokens too) plus undone output.
+	remTok := len(r.seq.Tokens) - r.computed
+	if remTok < 0 {
+		remTok = 0
+	}
+	remOut := r.req.OutputLen - 1 - r.decodesDone
+	if remOut < 0 {
+		remOut = 0
+	}
+	info.Remaining = remTok + remOut
+	if !waiting {
+		if r.ph == phaseDecode {
+			info.Phase = sched.PhaseDecode
+		} else {
+			info.Phase = sched.PhasePrefill
+		}
+		info.ScheduledNow = r.scheduledStep == e.step
+	}
+	return info
+}
+
+// clampBudget bounds a scheduler-returned budget share to [0, total].
+func clampBudget(share, total int) int {
+	if share > total {
+		return total
+	}
+	if share < 0 {
+		return 0
+	}
+	return share
 }
 
 // preempt releases a sequence's memory and requeues it for recompute.
@@ -807,6 +986,9 @@ func (e *Engine) result() *Result {
 			TTFT:     r.firstToken - r.req.Arrival,
 			E2E:      r.finish - r.req.Arrival,
 			Deadline: r.req.Deadline,
+			Group:    r.req.Group,
+			Priority: r.req.Priority,
+			Tokens:   r.promptLen() + r.req.OutputLen,
 		})
 		if r.req.OutputLen > 1 {
 			tpot += (r.finish - r.firstToken) / time.Duration(r.req.OutputLen-1)

@@ -139,6 +139,14 @@ type AdmissionState struct {
 	// time to first token: prompt tokens queued ahead of it (plus its
 	// own) at the device's compute-bound token rate.
 	EstTTFT time.Duration
+	// QueuePos is the position the candidate would take in the
+	// scheduler's admission order: the number of waiting requests the
+	// configured scheduling policy would admit ahead of it (0 = next).
+	// Under FCFS this is the queue depth; a priority policy ranks a
+	// high-priority arrival ahead of a deep low-priority backlog, so
+	// SLO-style policies can shed on effective rather than nominal
+	// queue position.
+	QueuePos int
 }
 
 // AdmissionDecision is an AdmissionPolicy verdict.
@@ -404,6 +412,7 @@ func (e *Engine) admissionState(r *run) AdmissionState {
 		Queued:    len(e.waiting),
 		Running:   len(e.running),
 		Footprint: e.cfg.Manager.Footprint(r.seq),
+		QueuePos:  e.scheduler.RankWaiting(e.reqInfo(r, true), e.policyView()),
 	}
 	if e.drainRate > 0 {
 		ahead := int64(r.promptLen())

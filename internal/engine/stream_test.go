@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"jenga/internal/sched"
 	"jenga/internal/workload"
 )
 
@@ -289,7 +290,8 @@ func TestPriorityShapesService(t *testing.T) {
 			reqs[i].Priority = 5
 		}
 	}
-	e, err := New(Config{Spec: spec, Device: smallDevice(), Manager: mgr, MaxBatchTokens: 256, MaxPrefills: 1})
+	e, err := New(Config{Spec: spec, Device: smallDevice(), Manager: mgr, MaxBatchTokens: 256, MaxPrefills: 1,
+		Scheduler: sched.NewPriority()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -153,6 +153,25 @@ func Imbalance(xs []float64) float64 {
 	return maxV / (sum / float64(len(xs)))
 }
 
+// Jain returns Jain's fairness index of a share vector:
+// (Σx)² / (n·Σx²). 1.0 means perfectly even shares, 1/n means one
+// participant received everything. Empty or all-zero input returns 1
+// (nothing was served, so nobody was treated unfairly).
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
 // Downsample reduces a series to at most n points by striding, always
 // keeping the final point; it returns the original when already short.
 func Downsample(xs []float64, n int) []float64 {

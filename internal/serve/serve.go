@@ -30,11 +30,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"jenga/internal/engine"
 	"jenga/internal/metrics"
+	"jenga/internal/sched"
 	"jenga/internal/workload"
 )
 
@@ -56,6 +58,11 @@ type Config struct {
 	// Engine configures the wrapped replica (spec, device, manager,
 	// batching limits, admission policy).
 	Engine engine.Config
+	// Scheduler, when set, overrides Engine.Scheduler: the scheduling
+	// policy (admission order, preemption victims, prefill/decode
+	// budget) the wrapped replica runs. Nil falls back to
+	// Engine.Scheduler, and from there to the FCFS default.
+	Scheduler sched.Scheduler
 	// MaxQueue bounds the not-yet-scheduled requests (pending plus
 	// waiting) a Submit may join; beyond it Submit returns
 	// ErrQueueFull. 0 means unbounded.
@@ -120,6 +127,9 @@ type StreamResult struct {
 	// request's Deadline (true when no deadline was set and the stream
 	// finished).
 	DeadlineMet bool
+	// Priority echoes the request's scheduling class; Report groups
+	// its per-priority breakdown by it.
+	Priority int
 	// Err carries the engine error when State is StateFailed because
 	// the simulation aborted.
 	Err error
@@ -136,6 +146,7 @@ type Stream struct {
 	// Owned by the pump (under srv.mu) until done closes.
 	arrival     time.Duration
 	deadline    time.Duration
+	priority    int
 	firstToken  time.Duration
 	generated   int
 	preemptions int
@@ -234,7 +245,10 @@ type Server struct {
 	eng     *engine.Engine
 	streams map[int64]*Stream
 	records []StreamResult
-	nextID  int64
+	// submittedByPrio counts accepted Submits per priority class for
+	// the Report breakdown.
+	submittedByPrio map[int]int
+	nextID          int64
 	// pendingCancels are CancelAfter hits applied at the next step
 	// boundary (the engine sink must not re-enter the engine).
 	pendingCancels []int64
@@ -251,16 +265,20 @@ type Server struct {
 // the engine built from cfg.Engine; callers interact only through the
 // Server.
 func New(cfg Config) (*Server, error) {
+	if cfg.Scheduler != nil {
+		cfg.Engine.Scheduler = cfg.Scheduler
+	}
 	eng, err := engine.New(cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		eng:     eng,
-		streams: make(map[int64]*Stream),
-		nextID:  1,
-		done:    make(chan struct{}),
+		cfg:             cfg,
+		eng:             eng,
+		streams:         make(map[int64]*Stream),
+		submittedByPrio: make(map[int]int),
+		nextID:          1,
+		done:            make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	eng.SetEventSink(s.handleEvent)
@@ -317,9 +335,11 @@ func (s *Server) Submit(ctx context.Context, req workload.Request) (*Stream, err
 		done:     make(chan struct{}),
 		arrival:  req.Arrival,
 		deadline: req.Deadline,
+		priority: req.Priority,
 	}
 	s.streams[req.ID] = st
 	s.submitted++
+	s.submittedByPrio[req.Priority]++
 	s.cond.Signal()
 	s.mu.Unlock()
 	if ctx != nil && ctx.Done() != nil {
@@ -406,6 +426,7 @@ func (s *Server) handleEvent(ev engine.Event) {
 		Arrival:     st.arrival,
 		Generated:   st.generated,
 		Preemptions: st.preemptions,
+		Priority:    st.priority,
 	}
 	// Cancelling a request still ahead of its simulated arrival emits
 	// the terminal event before st.arrival; a lifetime cannot be
@@ -449,7 +470,8 @@ func (s *Server) failAll(err error) {
 	for id, st := range s.streams {
 		res := StreamResult{
 			ID: id, State: StateFailed, Arrival: st.arrival,
-			Generated: st.generated, Preemptions: st.preemptions, Err: err,
+			Generated: st.generated, Preemptions: st.preemptions,
+			Priority: st.priority, Err: err,
 		}
 		s.finalize(st, engine.Event{Type: engine.EventFailed, ID: id}, res)
 	}
@@ -550,6 +572,37 @@ type Report struct {
 	Preemptions            int
 	// GeneratedTokens counts decode-produced tokens.
 	GeneratedTokens int64
+	// PerPriority breaks the scorecard down by scheduling class,
+	// ascending by priority — how a Priority scheduler trades
+	// low-class latency for high-class SLO attainment. Every class
+	// with an accepted Submit gets a row (a class whose streams are
+	// all still live shows Submitted with zero terminated); empty
+	// when nothing was submitted.
+	PerPriority []PriorityReport
+}
+
+// PriorityReport is one priority class's share of the serving
+// scorecard.
+type PriorityReport struct {
+	// Priority is the class (workload.Request.Priority).
+	Priority int
+	// Submitted counts accepted Submits in the class; Finished and
+	// Shed partition its terminated streams (failed and cancelled
+	// make up the remainder).
+	Submitted, Finished, Shed int
+	// P50TTFT and P99TTFT are latency percentiles over the class's
+	// finished streams.
+	P50TTFT, P99TTFT time.Duration
+	// Goodput is the class's deadline-meeting finishes per simulated
+	// second.
+	Goodput float64
+	// SLOAttainment is the fraction of the class's finished streams
+	// with TTFT at or under the configured SLOTTFT (with no target:
+	// the fraction meeting their own deadlines).
+	SLOAttainment float64
+	// Preemptions counts recompute-preemptions the class's terminated
+	// streams suffered.
+	Preemptions int
 }
 
 // Report assembles the scorecard over every stream terminated so far.
@@ -567,21 +620,42 @@ func (s *Server) Report() Report {
 		Preemptions:     er.Preemptions,
 		GeneratedTokens: er.GeneratedTokens,
 	}
+	// perPrio accumulates the per-class breakdown alongside the
+	// aggregate pass.
+	type prioAcc struct {
+		finished, shed, good, preempt int
+		ttfts                         []time.Duration
+	}
+	perPrio := make(map[int]*prioAcc)
+	acc := func(p int) *prioAcc {
+		a := perPrio[p]
+		if a == nil {
+			a = &prioAcc{}
+			perPrio[p] = a
+		}
+		return a
+	}
 	var ttfts, e2es []time.Duration
 	goodFinishes := 0
 	for _, rec := range s.records {
+		a := acc(rec.Priority)
+		a.preempt += rec.Preemptions
 		switch rec.State {
 		case StateFinished:
 			r.Finished++
+			a.finished++
 			ttfts = append(ttfts, rec.TTFT)
 			e2es = append(e2es, rec.E2E)
+			a.ttfts = append(a.ttfts, rec.TTFT)
 			if rec.DeadlineMet {
 				goodFinishes++
+				a.good++
 			}
 		case StateFailed:
 			r.Failed++
 		case StateShed:
 			r.Shed++
+			a.shed++
 		case StateCancelled:
 			r.Cancelled++
 		}
@@ -600,5 +674,40 @@ func (s *Server) Report() Report {
 	eq := metrics.Percentiles(e2es, 50, 99)
 	r.P50TTFT, r.P99TTFT = tq[0], tq[1]
 	r.P50E2E, r.P99E2E = eq[0], eq[1]
+	// Every class with an accepted Submit gets a row, including
+	// classes whose streams are all still live (zero terminated).
+	prios := make([]int, 0, len(perPrio)+len(s.submittedByPrio))
+	for p := range perPrio {
+		prios = append(prios, p)
+	}
+	for p := range s.submittedByPrio {
+		if _, ok := perPrio[p]; !ok {
+			prios = append(prios, p)
+		}
+	}
+	sort.Ints(prios)
+	for _, p := range prios {
+		a := perPrio[p]
+		if a == nil {
+			a = &prioAcc{}
+		}
+		pq := metrics.Percentiles(a.ttfts, 50, 99)
+		pr := PriorityReport{
+			Priority:    p,
+			Submitted:   s.submittedByPrio[p],
+			Finished:    a.finished,
+			Shed:        a.shed,
+			P50TTFT:     pq[0],
+			P99TTFT:     pq[1],
+			Goodput:     metrics.Goodput(a.good, r.Duration),
+			Preemptions: a.preempt,
+		}
+		if s.cfg.SLOTTFT > 0 {
+			pr.SLOAttainment = metrics.Attainment(a.ttfts, s.cfg.SLOTTFT)
+		} else {
+			pr.SLOAttainment = metrics.Fraction(a.good, a.finished)
+		}
+		r.PerPriority = append(r.PerPriority, pr)
+	}
 	return r
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"math"
 	"testing"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"jenga/internal/engine"
 	"jenga/internal/gpu"
 	"jenga/internal/model"
+	"jenga/internal/sched"
 	"jenga/internal/workload"
 )
 
@@ -327,5 +329,171 @@ func TestBatchOnlineEquivalence(t *testing.T) {
 		got.MeanTTFT != want.MeanTTFT || got.MeanE2E != want.MeanE2E ||
 		got.HitRate != want.HitRate || got.MeanKVUtil != want.MeanKVUtil {
 		t.Errorf("online drive diverged from batch:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestReportNoStreams: a report over zero terminated streams must be
+// all zeros (or the vacuous 1.0 attainment), never NaN and never a
+// panic inside the percentile math.
+func TestReportNoStreams(t *testing.T) {
+	s := testServer(t, 8<<20, false, Config{})
+	rep := s.Report()
+	if rep.Submitted != 0 || rep.Finished != 0 || rep.Live != 0 {
+		t.Fatalf("empty server report %+v", rep)
+	}
+	if rep.P50TTFT != 0 || rep.P99TTFT != 0 || rep.P50E2E != 0 || rep.P99E2E != 0 {
+		t.Errorf("percentiles over no streams = %v/%v/%v/%v, want zeros",
+			rep.P50TTFT, rep.P99TTFT, rep.P50E2E, rep.P99E2E)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"ReqPerSec", rep.ReqPerSec}, {"Goodput", rep.Goodput},
+		{"SLOAttainment", rep.SLOAttainment}, {"ShedRate", rep.ShedRate},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			t.Errorf("%s = %v over zero streams", f.name, f.v)
+		}
+	}
+	if len(rep.PerPriority) != 0 {
+		t.Errorf("per-priority breakdown over zero streams: %+v", rep.PerPriority)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReportOneStream: p50 and p99 over a single finished stream must
+// both equal that stream's latency.
+func TestReportOneStream(t *testing.T) {
+	s := testServer(t, 8<<20, false, Config{})
+	st, err := s.Submit(context.Background(), testReqs(21, 1, 64, 4)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.Finished != 1 {
+		t.Fatalf("finished %d, want 1", rep.Finished)
+	}
+	if rep.P50TTFT != res.TTFT || rep.P99TTFT != res.TTFT {
+		t.Errorf("TTFT percentiles %v/%v, want both %v", rep.P50TTFT, rep.P99TTFT, res.TTFT)
+	}
+	if rep.P50E2E != res.E2E || rep.P99E2E != res.E2E {
+		t.Errorf("E2E percentiles %v/%v, want both %v", rep.P50E2E, rep.P99E2E, res.E2E)
+	}
+	if len(rep.PerPriority) != 1 || rep.PerPriority[0].Finished != 1 ||
+		rep.PerPriority[0].P50TTFT != res.TTFT {
+		t.Errorf("per-priority breakdown %+v, want one class mirroring the stream", rep.PerPriority)
+	}
+}
+
+// TestReportAllShed: when every submission is shed, percentiles stay
+// zero, the shed rate is 1, and attainment is well-defined.
+func TestReportAllShed(t *testing.T) {
+	s := testServer(t, 1<<20, false, Config{
+		Engine:  engine.Config{Admission: engine.KVAdmission{}},
+		SLOTTFT: 100 * time.Millisecond,
+	})
+	huge := testReqs(8, 3, 100, 4)
+	for i := range huge {
+		for len(huge[i].Prompt) < 40_000 {
+			huge[i].Prompt = append(huge[i].Prompt, huge[i].Prompt...)
+		}
+		huge[i].Priority = i % 2
+		if _, err := s.Submit(context.Background(), huge[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.Shed != 3 || rep.ShedRate != 1 || rep.Finished != 0 {
+		t.Fatalf("report %+v, want 3 shed at rate 1", rep)
+	}
+	if rep.P50TTFT != 0 || rep.P99TTFT != 0 {
+		t.Errorf("percentiles over all-shed = %v/%v, want zeros", rep.P50TTFT, rep.P99TTFT)
+	}
+	if math.IsNaN(rep.SLOAttainment) || math.IsNaN(rep.Goodput) || math.IsNaN(rep.ReqPerSec) {
+		t.Errorf("NaN in all-shed report %+v", rep)
+	}
+	if len(rep.PerPriority) != 2 {
+		t.Fatalf("per-priority classes %d, want 2", len(rep.PerPriority))
+	}
+	for _, pr := range rep.PerPriority {
+		if pr.Finished != 0 || pr.Shed == 0 || math.IsNaN(pr.SLOAttainment) || math.IsNaN(pr.Goodput) {
+			t.Errorf("per-priority all-shed row %+v", pr)
+		}
+	}
+}
+
+// TestReportPerPriorityBreakdown: two priority classes under a
+// Priority scheduler — the breakdown must partition the submitted
+// streams by class, in ascending priority order, with the high class
+// seeing no worse p50 TTFT than the low class.
+func TestReportPerPriorityBreakdown(t *testing.T) {
+	s := testServer(t, 1<<20, false, Config{
+		Scheduler: sched.NewPriority(),
+		SLOTTFT:   time.Second,
+	})
+	s.Pause()
+	reqs := testReqs(33, 16, 400, 32)
+	for i := range reqs {
+		reqs[i].Priority = i % 2
+		if _, err := s.Submit(context.Background(), reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Resume()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if len(rep.PerPriority) != 2 {
+		t.Fatalf("per-priority classes %d, want 2: %+v", len(rep.PerPriority), rep.PerPriority)
+	}
+	lo, hi := rep.PerPriority[0], rep.PerPriority[1]
+	if lo.Priority != 0 || hi.Priority != 1 {
+		t.Fatalf("classes not ascending: %+v", rep.PerPriority)
+	}
+	if lo.Submitted != 8 || hi.Submitted != 8 {
+		t.Errorf("submitted %d/%d, want 8/8", lo.Submitted, hi.Submitted)
+	}
+	if lo.Finished+hi.Finished != rep.Finished {
+		t.Errorf("breakdown finished %d+%d != total %d", lo.Finished, hi.Finished, rep.Finished)
+	}
+	if hi.P50TTFT > lo.P50TTFT {
+		t.Errorf("high-class p50 TTFT %v above low-class %v under a priority scheduler", hi.P50TTFT, lo.P50TTFT)
+	}
+}
+
+// TestReportLivePriorityClass: a class whose streams are all still
+// live must still appear in the breakdown with its Submitted count.
+func TestReportLivePriorityClass(t *testing.T) {
+	s := testServer(t, 8<<20, false, Config{})
+	s.Pause()
+	reqs := testReqs(41, 2, 64, 4)
+	for i := range reqs {
+		reqs[i].Priority = 3
+		if _, err := s.Submit(context.Background(), reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := s.Report() // nothing has terminated yet
+	if len(rep.PerPriority) != 1 || rep.PerPriority[0].Priority != 3 ||
+		rep.PerPriority[0].Submitted != 2 || rep.PerPriority[0].Finished != 0 {
+		t.Errorf("live-class breakdown %+v, want class 3 with 2 submitted, 0 finished", rep.PerPriority)
+	}
+	s.Resume()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -35,9 +35,11 @@ type Request struct {
 	// queueing already exceeds it, and goodput counts only requests
 	// that finish within it.
 	Deadline time.Duration
-	// Priority breaks FIFO ties in scheduling: higher-priority
-	// requests are admitted from the waiting queue first and preempted
-	// last. The default 0 everywhere preserves strict arrival order.
+	// Priority is the request's scheduling class, honored by
+	// priority-aware schedulers (sched.NewPriority and similar):
+	// higher-priority requests are admitted from the waiting queue
+	// first and preempted last. The engine's default FCFS scheduler
+	// ignores it; the default 0 everywhere is equivalent either way.
 	Priority int
 }
 

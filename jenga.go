@@ -20,6 +20,10 @@
 //     contexts cancel mid-generation (releasing all KV), a bounded
 //     queue applies backpressure, and pluggable AdmissionPolicy sheds
 //     by KV demand or SLO estimates.
+//   - NewFCFS/NewPriority/NewSJF/NewFairShare build scheduling
+//     policies for the engine's pluggable scheduling layer (admission
+//     order, preemption victim selection, prefill/decode budgeting);
+//     every config surface accepts a Scheduler and defaults to FCFS.
 //   - NewSpeculative drives two-model speculative decoding over shared
 //     or split heaps.
 //   - NewCluster scales serving out to N engine replicas behind a
@@ -52,6 +56,7 @@ import (
 	"jenga/internal/engine"
 	"jenga/internal/gpu"
 	"jenga/internal/model"
+	"jenga/internal/sched"
 	"jenga/internal/serve"
 	"jenga/internal/spec"
 	"jenga/internal/workload"
@@ -255,6 +260,46 @@ var (
 	AdmitAll       = engine.AdmitAll
 	AdmissionChain = engine.AdmissionChain
 	ParseAdmission = engine.ParseAdmission
+)
+
+// Scheduling surface (internal/sched): the pluggable policy layer
+// behind admission order, preemption victim selection and the
+// prefill/decode budget split. EngineConfig, ServerConfig and
+// ClusterConfig all accept a Scheduler; nil means FCFS, the
+// historical behavior the golden tests pin.
+type (
+	// Scheduler is the pluggable scheduling policy.
+	Scheduler = sched.Scheduler
+	// SchedView is the read-only live state a Scheduler decides on.
+	SchedView = sched.View
+	// SchedReqInfo is the scheduler-visible summary of one request.
+	SchedReqInfo = sched.ReqInfo
+	// SchedSplit is a step's decode/prefill token-budget split.
+	SchedSplit = sched.Split
+	// SchedAdmissionPreempter is the optional Scheduler capability
+	// reporting whether a policy preempts for blocked admissions.
+	SchedAdmissionPreempter = sched.AdmissionPreempter
+	// PriorityReport is one priority class's share of a ServingReport.
+	PriorityReport = serve.PriorityReport
+)
+
+// Built-in schedulers and helpers. NewFCFS is first-come-first-served
+// (the default); NewPriority adds strict priority with admission-time
+// preemption of lower classes; NewSJF is shortest-remaining-first
+// with a deadline-aware tiebreak; NewFairShare serves tenant groups
+// by weighted max-min share. ParseScheduler converts flag spellings
+// ("fcfs", "priority", "sjf", "fairshare", optional ":<frac>" prefill
+// reserve); WithPrefillReserve adds the chunked-prefill budget
+// reserve to any scheduler; CompareSchedule is the shared
+// priority/arrival comparator custom policies can build on.
+var (
+	NewFCFS            = sched.NewFCFS
+	NewPriority        = sched.NewPriority
+	NewSJF             = sched.NewSJF
+	NewFairShare       = sched.NewFairShare
+	ParseScheduler     = sched.ParseScheduler
+	WithPrefillReserve = sched.WithPrefillReserve
+	CompareSchedule    = sched.Compare
 )
 
 // Cluster serving surface (scale-out: N engine replicas behind a

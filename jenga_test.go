@@ -283,3 +283,54 @@ func TestErrNoSpaceExported(t *testing.T) {
 		t.Errorf("expected ErrNoSpace, got %v", err)
 	}
 }
+
+// TestPublicScheduler exercises the re-exported scheduling surface:
+// parsing, the comparator, and an engine run under each built-in.
+func TestPublicScheduler(t *testing.T) {
+	for _, name := range []string{"fcfs", "priority", "sjf", "fairshare", "sjf:0.25"} {
+		s, err := jenga.ParseScheduler(name)
+		if err != nil {
+			t.Fatalf("ParseScheduler(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("ParseScheduler(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if jenga.CompareSchedule(jenga.SchedReqInfo{Priority: 1}, jenga.SchedReqInfo{}) != -1 {
+		t.Error("CompareSchedule must schedule the higher priority first")
+	}
+	spec := jenga.Models.CharacterAI8B()
+	dev := jenga.Device{Name: "test", MemBytes: 1 << 32, FLOPS: 50e12, MemBW: 500e9}
+	for _, scheduler := range []jenga.Scheduler{
+		jenga.NewFCFS(), jenga.NewPriority(), jenga.NewSJF(),
+		jenga.NewFairShare(map[int64]float64{1: 2}),
+		jenga.WithPrefillReserve(jenga.NewFCFS(), 0.25),
+	} {
+		mgr, err := jenga.NewManager(jenga.ManagerConfig{
+			Spec: spec, CapacityBytes: 1 << 28, RequestAware: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := jenga.NewEngine(jenga.EngineConfig{
+			Spec: spec, Device: dev, Manager: mgr, MaxBatchTokens: 1024,
+			Scheduler: scheduler,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := jenga.NewWorkloadGen(3)
+		reqs := g.PrefixGroups(3, 4, 256, 16)
+		for i := range reqs {
+			reqs[i].Priority = i % 2
+		}
+		jenga.AllAtOnce(reqs)
+		res, err := eng.Run(reqs)
+		if err != nil {
+			t.Fatalf("%s: %v", scheduler.Name(), err)
+		}
+		if res.Finished != len(reqs) {
+			t.Errorf("%s: finished %d of %d", scheduler.Name(), res.Finished, len(reqs))
+		}
+	}
+}
