@@ -67,6 +67,9 @@ func main() {
 		admission   = flag.String("admission", "none", "stream-mode admission policy: none, kv, slo or a + chain like kv+slo")
 		schedName   = flag.String("sched", "fcfs", "stream-mode scheduling policy: fcfs, priority, sjf, fairshare (optional :<frac> prefill reserve) or all")
 		prioClasses = flag.Int("prio-classes", 2, "stream-mode priority classes: request i gets priority i mod N (1 = all equal)")
+		preempt     = flag.String("preempt", "recompute", "stream-mode preemption: recompute, swap or all (swap rows run with the -host-gb tier, recompute rows untiered — the historical baseline)")
+		hostGB      = flag.Float64("host-gb", 0, "per-replica host-memory KV tier budget in GiB for swap-mode rows (0 = no tier)")
+		kvGB        = flag.Float64("kv-gb", 0, "per-replica KV budget override in GiB (0 = full device budget); small values make the stream memory-pressured")
 		benchJSON   = flag.String("bench-json", "", "write the stream-mode scorecard to this JSON file (BENCH_serving.json)")
 	)
 	flag.Parse()
@@ -103,7 +106,7 @@ func main() {
 			routerName = "affinity"
 		}
 		if err := runStream(n, routerName, *modelName, *device, *requests, r, *groups, *prefixLen, *seed,
-			*sloTTFT, *deadline, *admission, *schedName, *prioClasses, *benchJSON); err != nil {
+			*sloTTFT, *deadline, *admission, *schedName, *prioClasses, *preempt, *hostGB, *kvGB, *benchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -251,13 +254,21 @@ type servingBench struct {
 	RatePerS    float64 `json:"rate_per_s"`
 	SLOTTFTMs   float64 `json:"slo_ttft_ms"`
 	PrioClasses int     `json:"prio_classes"`
+	// HostGB is the per-replica host-tier budget swap-mode rows run
+	// with (recompute rows are always untiered); KvGB the per-replica
+	// KV budget override (0 = full device budget) that makes the
+	// stream memory-pressured.
+	HostGB float64 `json:"host_gb"`
+	KvGB   float64 `json:"kv_gb"`
 
 	Policies []servingPolicyBench `json:"policies"`
 }
 
-// servingPolicyBench is one scheduling policy's scorecard row.
+// servingPolicyBench is one (scheduling policy, preempt mode) row of
+// the scorecard.
 type servingPolicyBench struct {
 	Scheduler          string  `json:"scheduler"`
+	Preempt            string  `json:"preempt"`
 	ReqPerSec          float64 `json:"req_per_s"`
 	Goodput            float64 `json:"goodput_per_s"`
 	SLOAttainment      float64 `json:"slo_attainment"`
@@ -274,6 +285,14 @@ type servingPolicyBench struct {
 	Finished           int     `json:"finished"`
 	Failed             int     `json:"failed"`
 	Shed               int     `json:"shed"`
+	// Host-tier columns: restored-vs-recomputed volume, transfer
+	// counts and the p99 per-request restore cost.
+	TierHitRate      float64 `json:"tier_hit_rate"`
+	RestoredTokens   int64   `json:"restored_tokens"`
+	RecomputedTokens int64   `json:"recomputed_tokens"`
+	SwapOuts         int64   `json:"swap_outs"`
+	SwapIns          int64   `json:"swap_ins"`
+	RestoreP99Ms     float64 `json:"restore_p99_ms"`
 }
 
 // runStream runs the online streaming-serving benchmark: a
@@ -283,7 +302,8 @@ type servingPolicyBench struct {
 // policies directly.
 func runStream(replicas int, router, modelName, device string, requests int, rate float64,
 	groups, prefixLen int, seed int64, sloTTFT, deadline time.Duration,
-	admission, schedName string, prioClasses int, benchJSON string) error {
+	admission, schedName string, prioClasses int, preempt string, hostGB, kvGB float64,
+	benchJSON string) error {
 	spec, err := model.ByName(modelName)
 	if err != nil {
 		return err
@@ -312,6 +332,18 @@ func runStream(replicas int, router, modelName, device string, requests int, rat
 		}
 		schedulers[i] = s
 	}
+	preemptModes := []engine.PreemptMode{engine.PreemptRecompute}
+	switch preempt {
+	case "all":
+		preemptModes = []engine.PreemptMode{engine.PreemptRecompute, engine.PreemptSwap}
+	default:
+		m, err := engine.ParsePreemptMode(preempt)
+		if err != nil {
+			return err
+		}
+		preemptModes = []engine.PreemptMode{m}
+	}
+	hostBytes := int64(hostGB * float64(1<<30))
 	if groups <= 0 {
 		groups = 4*replicas - 1
 	}
@@ -324,52 +356,73 @@ func runStream(replicas int, router, modelName, device string, requests int, rat
 		Admission: adm, Requests: requests, Rate: rate,
 		Groups: groups, PrefixLen: prefixLen, SuffixLen: 128,
 		PrioClasses: prioClasses, SLOTTFT: sloTTFT, Deadline: deadline, Seed: seed,
+		CapacityBytes: int64(kvGB * float64(1<<30)),
 	}
 	nReqs := opt.RequestCount()
-	fmt.Printf("stream: %d × %s on %s, %d requests at %.0f req/s, router %s, admission %s, slo-ttft %v, %d priority classes\n",
-		replicas, spec.Name, dev.Name, nReqs, rate, policy, admName, sloTTFT, prioClasses)
-	fmt.Printf("%-12s %8s %9s %9s %7s %10s %10s %10s %7s %8s %6s\n",
-		"scheduler", "req/s", "goodput", "slo-att", "shed", "p50 TTFT", "p99 TTFT", "p99 E2E", "hit", "kv-util", "jain")
+	fmt.Printf("stream: %d × %s on %s, %d requests at %.0f req/s, router %s, admission %s, slo-ttft %v, %d priority classes, host tier %.1f GiB (swap rows)\n",
+		replicas, spec.Name, dev.Name, nReqs, rate, policy, admName, sloTTFT, prioClasses, hostGB)
+	fmt.Printf("%-12s %-9s %8s %9s %9s %7s %10s %10s %10s %7s %7s %8s\n",
+		"scheduler", "preempt", "req/s", "goodput", "slo-att", "shed", "p50 TTFT", "p99 TTFT", "p99 E2E", "hit", "tier", "recomp")
 	out := servingBench{
 		Model: spec.Name, Device: dev.Name, Replicas: replicas,
 		Router: policy.String(), Admission: admName,
 		Requests: nReqs, RatePerS: rate,
 		SLOTTFTMs:   float64(sloTTFT) / float64(time.Millisecond),
 		PrioClasses: prioClasses,
+		HostGB:      hostGB,
+		KvGB:        kvGB,
 	}
 	for _, scheduler := range schedulers {
-		opt.Scheduler = scheduler
-		start := time.Now()
-		res, err := bench.RunServing(opt)
-		if err != nil {
-			return err
+		for _, mode := range preemptModes {
+			opt.Scheduler = scheduler
+			opt.PreemptMode = mode
+			// Recompute rows run untiered — the historical baseline the
+			// scorecard trajectory compares against; swap rows get the
+			// host tier.
+			if mode == engine.PreemptSwap {
+				opt.HostTierBytes = hostBytes
+			} else {
+				opt.HostTierBytes = 0
+			}
+			start := time.Now()
+			res, err := bench.RunServing(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %-9s %8.1f %9.1f %8.1f%% %6.1f%% %10s %10s %10s %6.1f%% %6.1f%% %8d  [%v wall]\n",
+				scheduler.Name(), mode, res.ReqPerSec, res.Goodput, 100*res.SLOAttainment,
+				100*float64(res.Shed)/float64(nReqs),
+				res.P50TTFT.Round(time.Millisecond), res.P99TTFT.Round(time.Millisecond),
+				res.P99E2E.Round(time.Millisecond), 100*res.HitRate, 100*res.TierHitRate,
+				res.RecomputedTokens, time.Since(start).Round(time.Millisecond))
+			if res.Failed > 0 {
+				fmt.Printf("  (%d requests failed)\n", res.Failed)
+			}
+			out.Policies = append(out.Policies, servingPolicyBench{
+				Scheduler:          scheduler.Name(),
+				Preempt:            mode.String(),
+				ReqPerSec:          res.ReqPerSec,
+				Goodput:            res.Goodput,
+				SLOAttainment:      res.SLOAttainment,
+				ShedRate:           float64(res.Shed) / float64(nReqs),
+				P50TTFTMs:          float64(res.P50TTFT) / float64(time.Millisecond),
+				P99TTFTMs:          float64(res.P99TTFT) / float64(time.Millisecond),
+				P50E2EMs:           float64(res.P50E2E) / float64(time.Millisecond),
+				P99E2EMs:           float64(res.P99E2E) / float64(time.Millisecond),
+				HitRate:            res.HitRate,
+				MeanKVUtil:         res.MeanKVUtil,
+				Imbalance:          res.Imbalance,
+				GroupJain:          res.GroupJain,
+				MaxGroupMeanTTFTMs: float64(res.MaxGroupMeanTTFT) / float64(time.Millisecond),
+				Finished:           res.Finished, Failed: res.Failed, Shed: res.Shed,
+				TierHitRate:      res.TierHitRate,
+				RestoredTokens:   res.RestoredTokens,
+				RecomputedTokens: res.RecomputedTokens,
+				SwapOuts:         res.SwapOuts,
+				SwapIns:          res.SwapIns,
+				RestoreP99Ms:     float64(res.P99Restore) / float64(time.Millisecond),
+			})
 		}
-		fmt.Printf("%-12s %8.1f %9.1f %8.1f%% %6.1f%% %10s %10s %10s %6.1f%% %7.1f%% %6.3f  [%v wall]\n",
-			scheduler.Name(), res.ReqPerSec, res.Goodput, 100*res.SLOAttainment,
-			100*float64(res.Shed)/float64(nReqs),
-			res.P50TTFT.Round(time.Millisecond), res.P99TTFT.Round(time.Millisecond),
-			res.P99E2E.Round(time.Millisecond), 100*res.HitRate, 100*res.MeanKVUtil,
-			res.GroupJain, time.Since(start).Round(time.Millisecond))
-		if res.Failed > 0 {
-			fmt.Printf("  (%d requests failed)\n", res.Failed)
-		}
-		out.Policies = append(out.Policies, servingPolicyBench{
-			Scheduler:          scheduler.Name(),
-			ReqPerSec:          res.ReqPerSec,
-			Goodput:            res.Goodput,
-			SLOAttainment:      res.SLOAttainment,
-			ShedRate:           float64(res.Shed) / float64(nReqs),
-			P50TTFTMs:          float64(res.P50TTFT) / float64(time.Millisecond),
-			P99TTFTMs:          float64(res.P99TTFT) / float64(time.Millisecond),
-			P50E2EMs:           float64(res.P50E2E) / float64(time.Millisecond),
-			P99E2EMs:           float64(res.P99E2E) / float64(time.Millisecond),
-			HitRate:            res.HitRate,
-			MeanKVUtil:         res.MeanKVUtil,
-			Imbalance:          res.Imbalance,
-			GroupJain:          res.GroupJain,
-			MaxGroupMeanTTFTMs: float64(res.MaxGroupMeanTTFT) / float64(time.Millisecond),
-			Finished:           res.Finished, Failed: res.Failed, Shed: res.Shed,
-		})
 	}
 	if benchJSON == "" {
 		return nil

@@ -167,6 +167,19 @@ func (v *View) ByteRange(p SmallPageID) (off int64, length int) {
 	return int64(p) * int64(v.smallBytes), v.smallBytes
 }
 
+// SmallSlice returns the bytes of one small page (backed arenas
+// only) — the D2H/H2D transfer unit a tiered-memory layer copies.
+func (v *View) SmallSlice(p SmallPageID) ([]byte, error) {
+	if v.a.buf == nil {
+		return nil, fmt.Errorf("arena view %s: SmallSlice on unbacked arena", v.name)
+	}
+	off, length := v.ByteRange(p)
+	if off < 0 || off+int64(length) > int64(len(v.a.buf)) {
+		return nil, fmt.Errorf("arena view %s: small page %d out of range", v.name, p)
+	}
+	return v.a.buf[off : off+int64(length)], nil
+}
+
 // Kernel builds the attention-kernel arguments of Fig. 7c for one layer
 // of the group: the start offset (KV_cache_start_ptr relative to the
 // arena base), the execution page stride (page_size_exec) and the small

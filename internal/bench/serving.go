@@ -24,11 +24,20 @@ type ServingOptions struct {
 	Device gpu.Device
 	// Replicas is the fleet size (min 1).
 	Replicas int
+	// CapacityBytes overrides each replica's KV budget (0 = the full
+	// device budget) — the knob that makes the stream memory-pressured
+	// enough for preemption and tiering to matter.
+	CapacityBytes int64
 	// Router places arrivals; Admission and Scheduler forward to
 	// every replica engine.
 	Router    cluster.RouterPolicy
 	Admission engine.AdmissionPolicy
 	Scheduler sched.Scheduler
+	// HostTierBytes gives every replica manager a host-memory KV
+	// tier; PreemptMode selects recompute- or swap-based preemption
+	// (swap pays off only with a tier to swap into).
+	HostTierBytes int64
+	PreemptMode   engine.PreemptMode
 	// Requests, Rate, Groups, PrefixLen and SuffixLen shape the
 	// shared-prefix workload (Rate in req/s; Groups distinct shared
 	// prefixes).
@@ -87,13 +96,16 @@ func ServingWorkload(o ServingOptions) []workload.Request {
 // from cold caches on the identical seeded stream.
 func RunServing(o ServingOptions) (*cluster.Result, error) {
 	c, err := cluster.New(cluster.Config{
-		Spec:      o.Spec,
-		Device:    o.Device,
-		Replicas:  o.Replicas,
-		Policy:    o.Router,
-		Admission: o.Admission,
-		Scheduler: o.Scheduler,
-		SLOTTFT:   o.SLOTTFT,
+		Spec:          o.Spec,
+		Device:        o.Device,
+		Replicas:      o.Replicas,
+		CapacityBytes: o.CapacityBytes,
+		Policy:        o.Router,
+		Admission:     o.Admission,
+		Scheduler:     o.Scheduler,
+		SLOTTFT:       o.SLOTTFT,
+		HostTierBytes: o.HostTierBytes,
+		PreemptMode:   o.PreemptMode,
 	})
 	if err != nil {
 		return nil, err

@@ -62,6 +62,16 @@ type Config struct {
 	// CapacityBytes is the per-replica KV budget for the default
 	// manager (0 → gpu.KVBudget for Spec on Device).
 	CapacityBytes int64
+	// HostTierBytes is each default manager's host-memory KV tier
+	// budget (0 = no tier): whole-large-page eviction then spills to
+	// host instead of discarding, and prefix lookups restore spilled
+	// blocks over PCIe. Ignored when NewManager is set — a custom
+	// manager configures its own tier.
+	HostTierBytes int64
+	// PreemptMode forwards the preemption strategy to every replica
+	// engine: recompute (default, historical) or swap (preemption
+	// victims move to the host tier and resume by restore).
+	PreemptMode engine.PreemptMode
 	// MaxBatchTokens, MaxRunning and MaxPrefills forward to each
 	// replica's engine.Config.
 	MaxBatchTokens int
@@ -152,6 +162,18 @@ type Result struct {
 	// StarvedGroups counts groups that were routed at least one
 	// request but finished none.
 	StarvedGroups int
+	// TierHitRate is the fleet-exact host-tier share of all prefill
+	// work: Σ restored tokens over Σ (cached + computed) prompt
+	// tokens across replicas — the tier counterpart of HitRate.
+	TierHitRate float64
+	// RestoredTokens and RecomputedTokens sum the per-replica tier
+	// restores and the recompute waste; SwapOuts/SwapIns sum the
+	// fleet's page/block transfers.
+	RestoredTokens, RecomputedTokens int64
+	SwapOuts, SwapIns                int64
+	// P99Restore is the p99 per-request PCIe restore time over every
+	// finished request in the fleet.
+	P99Restore time.Duration
 	// PerReplica holds each replica's share, indexed by replica.
 	PerReplica []ReplicaResult
 }
@@ -196,6 +218,7 @@ func New(cfg Config) (*Cluster, error) {
 				CapacityBytes:     capacity,
 				EnablePrefixCache: true,
 				RequestAware:      true,
+				HostTierBytes:     cfg.HostTierBytes,
 			})
 		}
 	}
@@ -228,6 +251,7 @@ func New(cfg Config) (*Cluster, error) {
 			MaxPrefills:    cfg.MaxPrefills,
 			Admission:      cfg.Admission,
 			Scheduler:      scheduler,
+			PreemptMode:    cfg.PreemptMode,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d engine: %w", i, err)
@@ -346,8 +370,8 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result, routedGroups
 		Policy:   c.router.Name(),
 		Replicas: len(results),
 	}
-	var cached, computed, generated int64
-	var ttfts, e2es []time.Duration
+	var cached, computed, generated, restored int64
+	var ttfts, e2es, restores []time.Duration
 	deadlineMet := 0
 	shares := make([]float64, len(results))
 	type groupAcc struct {
@@ -373,10 +397,16 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result, routedGroups
 		cached += res.CachedPromptTokens
 		computed += res.ComputedPromptTokens
 		generated += res.GeneratedTokens
+		restored += res.RestoredTokens
+		out.RestoredTokens += res.RestoredTokens
+		out.RecomputedTokens += res.RecomputedTokens
+		out.SwapOuts += res.SwapOuts
+		out.SwapIns += res.SwapIns
 		out.MeanKVUtil += res.MeanKVUtil
 		for _, rm := range res.PerRequest {
 			ttfts = append(ttfts, rm.TTFT)
 			e2es = append(e2es, rm.E2E)
+			restores = append(restores, rm.RestoreTime)
 			if rm.Deadline == 0 || rm.E2E <= rm.Deadline {
 				deadlineMet++
 			}
@@ -419,7 +449,9 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result, routedGroups
 	}
 	if work := cached + computed; work > 0 {
 		out.HitRate = float64(cached) / float64(work)
+		out.TierHitRate = float64(restored) / float64(work)
 	}
+	out.P99Restore = metrics.Percentile(restores, 99)
 	out.Imbalance = metrics.Imbalance(shares)
 	tq := metrics.Percentiles(ttfts, 50, 99)
 	eq := metrics.Percentiles(e2es, 50, 99)

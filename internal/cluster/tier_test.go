@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"testing"
+
+	"jenga/internal/engine"
+	"jenga/internal/workload"
+)
+
+// tierCluster builds a pressured fleet with a per-replica host tier
+// and the given preempt mode.
+func tierCluster(t *testing.T, mode engine.PreemptMode, hostBytes int64) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Spec:          testSpec(),
+		Replicas:      2,
+		Policy:        RoundRobin,
+		CapacityBytes: perReplicaCapacity,
+		HostTierBytes: hostBytes,
+		PreemptMode:   mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestClusterTierAggregation drives a cache-pressured fleet through
+// ServeOnline with a host tier and checks the tier metrics flow
+// through aggregation: a positive fleet-exact tier hit rate bounded
+// by the overall hit rate, summed transfer counts, and a restore p99.
+// The same fleet without a tier must report all-zero tier metrics.
+func TestClusterTierAggregation(t *testing.T) {
+	gen := workload.NewGen(21)
+	reqs := gen.PrefixGroups(15, 12, 512, 48)
+	gen.PoissonArrivals(reqs, 400)
+
+	tiered := tierCluster(t, engine.PreemptSwap, 256<<20)
+	res, err := tiered.ServeOnline(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapOuts == 0 || res.SwapIns == 0 || res.RestoredTokens == 0 {
+		t.Fatalf("pressured tiered fleet moved nothing: swapOuts=%d swapIns=%d restored=%d",
+			res.SwapOuts, res.SwapIns, res.RestoredTokens)
+	}
+	if res.TierHitRate <= 0 || res.TierHitRate > res.HitRate {
+		t.Fatalf("TierHitRate = %v, want in (0, HitRate=%v]", res.TierHitRate, res.HitRate)
+	}
+	if res.P99Restore <= 0 {
+		t.Fatalf("P99Restore = %v, want > 0 on a restoring fleet", res.P99Restore)
+	}
+
+	gen2 := workload.NewGen(21)
+	reqs2 := gen2.PrefixGroups(15, 12, 512, 48)
+	gen2.PoissonArrivals(reqs2, 400)
+	bare := tierCluster(t, engine.PreemptRecompute, 0)
+	res2, err := bare.ServeOnline(reqs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SwapOuts != 0 || res2.SwapIns != 0 || res2.RestoredTokens != 0 ||
+		res2.TierHitRate != 0 || res2.P99Restore != 0 {
+		t.Fatalf("untiered fleet reports tier activity: %+v", res2)
+	}
+	// The tier can only help: never fewer finishes, never less cached
+	// prefill on the identical stream.
+	if res.Finished < res2.Finished {
+		t.Errorf("tiered fleet finished %d < untiered %d", res.Finished, res2.Finished)
+	}
+	if res.HitRate < res2.HitRate {
+		t.Errorf("tiered hit rate %v below untiered %v", res.HitRate, res2.HitRate)
+	}
+}

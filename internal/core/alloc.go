@@ -407,6 +407,12 @@ func (m *Jenga) evictLargeLRU() bool {
 			continue // stale key: retry with fresh position
 		}
 		og := m.groups[m.largeOwner[e.id]]
+		// Tiered spill (§8): copy the victim page out to the host tier
+		// before discarding, so the evicted bytes survive one tier down
+		// and a later prefix Lookup restores them instead of
+		// recomputing. Best-effort — a full (or absent) tier degrades
+		// to today's discard.
+		m.spillLarge(e.id, ts)
 		first, n := og.view.SmallRange(e.id)
 		for i := 0; i < n; i++ {
 			id := first + arena.SmallPageID(i)

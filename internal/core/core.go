@@ -126,7 +126,8 @@ type GroupUsage struct {
 }
 
 // Usage is a memory accounting snapshot. Used + Cached + Wasted + Free
-// equals Capacity().
+// equals Capacity(); the host-tier fields account a separate memory
+// pool and are not part of that conservation sum.
 type Usage struct {
 	Used   int64
 	Cached int64
@@ -134,6 +135,9 @@ type Usage struct {
 	// Free is unallocated bytes (plus the unusable remainder beyond the
 	// last whole large page).
 	Free int64
+	// HostUsed and HostCapacity are the host-memory KV tier's byte
+	// accounting (both 0 for managers without a tier).
+	HostUsed, HostCapacity int64
 	// PerGroup breaks the totals down by layer type.
 	PerGroup map[string]GroupUsage
 }

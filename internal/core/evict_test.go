@@ -125,8 +125,8 @@ func TestBalancedEvictionAcrossGroups(t *testing.T) {
 	// Full-attention group: pure LRU with the §5.1 tie break — all of
 	// request a's pages evict before any of request b's.
 	full := m.groups[m.byName["full"]]
-	va := m.buildView(full, a.Tokens)
-	vb := m.buildView(full, b.Tokens)
+	va := m.buildView(full, a.Tokens, false)
+	vb := m.buildView(full, b.Tokens, false)
 	aPages := 0
 	for _, ok := range va.Present {
 		if ok {
@@ -138,8 +138,8 @@ func TestBalancedEvictionAcrossGroups(t *testing.T) {
 			t.Fatalf("full: expected evictable page %d", i)
 		}
 	}
-	va = m.buildView(full, a.Tokens)
-	vb2 := m.buildView(full, b.Tokens)
+	va = m.buildView(full, a.Tokens, false)
+	vb2 := m.buildView(full, b.Tokens, false)
 	for k, ok := range va.Present {
 		if ok {
 			t.Errorf("full: request-a block %d survived balanced eviction", k)
@@ -162,8 +162,8 @@ func TestBalancedEvictionAcrossGroups(t *testing.T) {
 			t.Fatalf("window: expected evictable page %d", i)
 		}
 	}
-	wa := m.buildView(win, a.Tokens)
-	wb := m.buildView(win, b.Tokens)
+	wa := m.buildView(win, a.Tokens, false)
+	wb := m.buildView(win, b.Tokens, false)
 	for k := 0; k < 2; k++ {
 		if wa.Present[k] || wb.Present[k] {
 			t.Errorf("window: expired block %d should be evicted first (a=%v b=%v)",
@@ -180,8 +180,8 @@ func TestBalancedEvictionAcrossGroups(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		m.evictOneSmall(win)
 	}
-	wa = m.buildView(win, a.Tokens)
-	wb = m.buildView(win, b.Tokens)
+	wa = m.buildView(win, a.Tokens, false)
+	wb = m.buildView(win, b.Tokens, false)
 	for k := 2; k < 8; k++ {
 		if wa.Present[k] {
 			t.Errorf("window: request-a live block %d should evict before b's", k)
@@ -233,7 +233,7 @@ func TestImageAtomicEviction(t *testing.T) {
 	// last-access; priority decides. Evict twice: both evictions must
 	// hit the same image.
 	evicted := func() []bool {
-		v := m.buildView(g, seq.Tokens)
+		v := m.buildView(g, seq.Tokens, false)
 		out := make([]bool, len(v.Present))
 		for k, ok := range v.Present {
 			out[k] = !ok

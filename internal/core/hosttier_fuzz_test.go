@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// refTier is an independent reference model of the host tier: pages
+// as a plain slice, the index rebuilt with the same last-spill-wins
+// semantics, eviction by linear min-scan. The fuzzer drives both
+// implementations with the same byte-decoded op stream and compares
+// full contents after every op — catching index dangles, byte
+// mis-accounting, pin violations and nondeterministic eviction.
+type refTier struct {
+	capacity, pageBytes int64
+	used                int64
+	nextSeq             int64
+	pages               []*refPage
+	index               map[string]map[uint64]int64
+	pinned              map[int64]int
+}
+
+type refPage struct {
+	seq    int64
+	touch  Tick
+	group  string
+	blocks map[uint64]int32
+}
+
+func newRefTier(capacity, pageBytes int64) *refTier {
+	return &refTier{
+		capacity: capacity, pageBytes: pageBytes,
+		index:  make(map[string]map[uint64]int64),
+		pinned: make(map[int64]int),
+	}
+}
+
+func (r *refTier) spill(group string, hashes []uint64, filled []int32, now Tick) bool {
+	if r.capacity < r.pageBytes || len(hashes) == 0 {
+		return false
+	}
+	for r.used+r.pageBytes > r.capacity {
+		if !r.evictOne() {
+			return false
+		}
+	}
+	pg := &refPage{seq: r.nextSeq, touch: now, group: group, blocks: make(map[uint64]int32)}
+	r.nextSeq++
+	gi := r.index[group]
+	if gi == nil {
+		gi = make(map[uint64]int64)
+		r.index[group] = gi
+	}
+	for i, h := range hashes {
+		pg.blocks[h] = filled[i]
+		gi[h] = pg.seq
+	}
+	r.pages = append(r.pages, pg)
+	r.used += r.pageBytes
+	return true
+}
+
+func (r *refTier) evictOne() bool {
+	vi := -1
+	for i, pg := range r.pages {
+		if _, p := r.pinned[pg.seq]; p {
+			continue
+		}
+		if vi < 0 || pg.touch < r.pages[vi].touch ||
+			(pg.touch == r.pages[vi].touch && pg.seq < r.pages[vi].seq) {
+			vi = i
+		}
+	}
+	if vi < 0 {
+		return false
+	}
+	pg := r.pages[vi]
+	gi := r.index[pg.group]
+	for h := range pg.blocks {
+		if gi[h] == pg.seq {
+			delete(gi, h)
+		}
+	}
+	r.pages = append(r.pages[:vi], r.pages[vi+1:]...)
+	r.used -= r.pageBytes
+	return true
+}
+
+func (r *refTier) lookup(group string, hash uint64) (int32, bool) {
+	gi, ok := r.index[group]
+	if !ok {
+		return 0, false
+	}
+	seq, ok := gi[hash]
+	if !ok {
+		return 0, false
+	}
+	for _, pg := range r.pages {
+		if pg.seq == seq {
+			return pg.blocks[hash], true
+		}
+	}
+	return 0, false
+}
+
+func (r *refTier) touch(group string, hash uint64, now Tick) {
+	if gi, ok := r.index[group]; ok {
+		if seq, ok := gi[hash]; ok {
+			for _, pg := range r.pages {
+				if pg.seq == seq && pg.touch < now {
+					pg.touch = now
+				}
+			}
+		}
+	}
+}
+
+func (r *refTier) pin(group string, hash uint64) int64 {
+	gi, ok := r.index[group]
+	if !ok {
+		return -1
+	}
+	seq, ok := gi[hash]
+	if !ok {
+		return -1
+	}
+	r.pinned[seq]++
+	return seq
+}
+
+func (r *refTier) unpin(seq int64) {
+	if seq < 0 {
+		return
+	}
+	if n, ok := r.pinned[seq]; ok {
+		if n <= 1 {
+			delete(r.pinned, seq)
+		} else {
+			r.pinned[seq] = n - 1
+		}
+	}
+}
+
+// compareTiers checks full content equality between the real tier and
+// the reference.
+func compareTiers(h *hostTier, r *refTier) error {
+	if h.used != r.used {
+		return fmt.Errorf("used %d vs ref %d", h.used, r.used)
+	}
+	if len(h.pages) != len(r.pages) {
+		return fmt.Errorf("pages %d vs ref %d", len(h.pages), len(r.pages))
+	}
+	for group, gi := range r.index {
+		for hash, seq := range gi {
+			hb, ok := h.lookup(group, hash)
+			if !ok {
+				return fmt.Errorf("ref has %s/%x (page %d), tier misses it", group, hash, seq)
+			}
+			want, _ := r.lookup(group, hash)
+			if hb.filled != want {
+				return fmt.Errorf("%s/%x filled %d vs ref %d", group, hash, hb.filled, want)
+			}
+		}
+	}
+	for group, gi := range h.index {
+		for hash := range gi {
+			if _, ok := r.lookup(group, hash); !ok {
+				return fmt.Errorf("tier has %s/%x, ref misses it", group, hash)
+			}
+		}
+	}
+	return nil
+}
+
+// FuzzHostTier drives the host tier and the reference with the same
+// byte-decoded op stream: spills, lookups/touches, evictions, pins and
+// unpins. Any divergence in contents, byte accounting or operation
+// outcome fails.
+func FuzzHostTier(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 3, 1, 4, 0, 2, 0, 0, 5})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{3, 1, 0, 2, 2, 4, 1, 0, 3, 0, 5, 0, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const pageBytes = 64
+		tier := newHostTier(4*pageBytes, pageBytes)
+		ref := newRefTier(4*pageBytes, pageBytes)
+		groups := []string{"a", "b"}
+		var pins []int64
+		var refPins []int64
+		now := Tick(1)
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%5, data[i+1]
+			group := groups[int(arg)%len(groups)]
+			hash := uint64(arg % 16)
+			now++
+			switch op {
+			case 0: // spill 1–3 blocks with consecutive hashes
+				n := 1 + int(arg)%3
+				hashes := make([]uint64, n)
+				filled := make([]int32, n)
+				blocks := make([]hostBlock, n)
+				for k := 0; k < n; k++ {
+					hashes[k] = (hash + uint64(k)) % 16
+					filled[k] = int32(arg) + int32(k)
+					blocks[k] = hostBlock{hash: hashes[k], filled: filled[k]}
+				}
+				got := tier.spill(group, blocks, now)
+				want := ref.spill(group, hashes, filled, now)
+				if got != want {
+					t.Fatalf("op %d: spill = %v, ref %v", i, got, want)
+				}
+			case 1: // lookup + touch
+				hb, ok := tier.lookup(group, hash)
+				want, wok := ref.lookup(group, hash)
+				if ok != wok || (ok && hb.filled != want) {
+					t.Fatalf("op %d: lookup(%s, %x) = %v, ref %v", i, group, hash, ok, wok)
+				}
+				tier.touchPage(group, hash, now)
+				ref.touch(group, hash, now)
+			case 2: // evict
+				got := tier.evictOne()
+				want := ref.evictOne()
+				if got != want {
+					t.Fatalf("op %d: evictOne = %v, ref %v", i, got, want)
+				}
+			case 3: // pin
+				pins = append(pins, tier.pin(group, hash))
+				refPins = append(refPins, ref.pin(group, hash))
+				if (pins[len(pins)-1] < 0) != (refPins[len(refPins)-1] < 0) {
+					t.Fatalf("op %d: pin diverged", i)
+				}
+			case 4: // unpin oldest outstanding pin
+				if len(pins) > 0 {
+					tier.unpin(pins[0])
+					ref.unpin(refPins[0])
+					pins, refPins = pins[1:], refPins[1:]
+				}
+			}
+			if err := compareTiers(tier, ref); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			if tier.used > tier.capacity {
+				t.Fatalf("op %d: tier over budget: %d > %d", i, tier.used, tier.capacity)
+			}
+			if tier.stats.HostUsed != tier.used {
+				t.Fatalf("op %d: stats.HostUsed %d != used %d", i, tier.stats.HostUsed, tier.used)
+			}
+		}
+	})
+}

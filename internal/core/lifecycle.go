@@ -61,7 +61,13 @@ type reqState struct {
 	lastNow      Tick
 	claimed      bool
 	cachedPrefix int
-	g            []reqGroup
+	// restoredTokens is the model-wide prefix the host tier added
+	// beyond what the GPU cache alone validated at claim time — the
+	// tokens a restore saved from recompute; restoredBytes the H2D
+	// volume the restores moved (RestoreCost reads both).
+	restoredTokens int
+	restoredBytes  int64
+	g              []reqGroup
 }
 
 func (m *Jenga) getReq(seq *Sequence) *reqState {
@@ -152,8 +158,17 @@ func (m *Jenga) CachedPrefix(seq *Sequence) int {
 
 // Lookup implements Manager (§5.2): per-group views are built, each
 // policy's hit rule is evaluated, and the longest model-wide valid
-// prefix is returned.
+// prefix is returned. With a host tier, blocks whose only copy lives
+// one tier down count as present — claiming such a prefix restores
+// them (H2D) instead of recomputing.
 func (m *Jenga) Lookup(seq *Sequence) int {
+	return m.lookupPrefix(seq, m.host != nil)
+}
+
+// lookupPrefix is Lookup with host-tier presence switchable: the
+// claim fallback path re-evaluates the prefix GPU-only when a restore
+// ran out of device memory.
+func (m *Jenga) lookupPrefix(seq *Sequence, useHost bool) int {
 	if !m.cfg.EnablePrefixCache {
 		return 0
 	}
@@ -171,7 +186,7 @@ func (m *Jenga) Lookup(seq *Sequence) int {
 		if g.isVision() || !g.appliesTo(seq) {
 			continue // never gates KV hits
 		}
-		v := m.buildView(g, seq.Tokens)
+		v := m.buildView(g, seq.Tokens, useHost)
 		for _, ok := range v.Present {
 			if ok {
 				anyPresent = true
@@ -181,7 +196,8 @@ func (m *Jenga) Lookup(seq *Sequence) int {
 		if g.spec.Kind == model.Mamba && v.CheckpointAt != nil {
 			// Presence detection for Mamba handled via CheckpointAt in
 			// the candidate scan; mark possible presence cheaply.
-			anyPresent = anyPresent || len(g.index) > 0
+			anyPresent = anyPresent || len(g.index) > 0 ||
+				(useHost && m.host.groupSize(g.spec.Name) > 0)
 		}
 		views = append(views, gview{g, v})
 	}
@@ -205,8 +221,9 @@ candidates:
 	return 0
 }
 
-// buildView constructs the Lookup view of one group.
-func (m *Jenga) buildView(g *group, tokens []Token) *GroupSeqView {
+// buildView constructs the Lookup view of one group. With useHost,
+// host-tier-resident blocks count as present.
+func (m *Jenga) buildView(g *group, tokens []Token, useHost bool) *GroupSeqView {
 	storesImg := g.spec.StoresToken(true)
 	storesTxt := g.spec.StoresToken(false)
 	proj, _ := project(tokens, storesImg, storesTxt)
@@ -233,6 +250,11 @@ func (m *Jenga) buildView(g *group, tokens []Token) *GroupSeqView {
 						present[i+1] = true
 					}
 				}
+				if !present[i+1] && useHost {
+					if _, ok := m.host.lookup(g.spec.Name, h); ok {
+						present[i+1] = true
+					}
+				}
 			}
 		}
 		v.CheckpointAt = func(pos int) bool { return present[pos] }
@@ -246,6 +268,11 @@ func (m *Jenga) buildView(g *group, tokens []Token) *GroupSeqView {
 		if id, ok := g.index[h]; ok {
 			pg := &g.pages[id]
 			v.Present[k] = pg.hashed && pg.hash == h && pg.status != pageEmpty
+		}
+		if !v.Present[k] && useHost {
+			if _, ok := m.host.lookup(g.spec.Name, h); ok {
+				v.Present[k] = true
+			}
 		}
 	}
 	v.buildRuns()
@@ -506,15 +533,63 @@ func (m *Jenga) Release(seq *Sequence, cache bool) {
 
 // claim runs at a request's first reservation: it finds the model-wide
 // cached prefix and attaches the corresponding pages (§5.2), so the
-// engine can skip computing those tokens.
+// engine can skip computing those tokens. With a host tier, blocks
+// whose only copy lives one tier down are restored (H2D) as part of
+// the claim; if device memory runs out mid-restore, the claim rolls
+// back and falls back to the GPU-only prefix, which never allocates.
 func (m *Jenga) claim(seq *Sequence, r *reqState, now Tick) {
-	p := m.Lookup(seq)
+	// An empty tier cannot assist any lookup, so skip the host passes
+	// (including the hostAssist probe below) until something spilled.
+	useHost := m.host != nil && len(m.host.pages) > 0
+	p := m.lookupPrefix(seq, useHost)
+	// hostAssist is the model-wide prefix the tier adds beyond what
+	// the GPU cache alone validates — the tokens a restore saves from
+	// recompute. Measured before claiming (afterwards restored blocks
+	// are GPU-resident and the difference vanishes).
+	hostAssist := 0
+	if useHost && p > 0 {
+		if pGPU := m.lookupPrefix(seq, false); pGPU < p {
+			hostAssist = p - pGPU
+		}
+	}
+	if p > 0 && !m.claimPrefix(seq, r, p, now, useHost) {
+		m.rollbackClaim(seq, r)
+		p = m.lookupPrefix(seq, false)
+		if p > 0 {
+			check(m.claimPrefix(seq, r, p, now, false),
+				"claim: GPU-only fallback claim failed")
+		}
+	} else if hostAssist > 0 {
+		r.restoredTokens = hostAssist
+		m.stats.RestoredTokens += int64(hostAssist)
+		m.host.stats.RestoredTokens += int64(hostAssist)
+	}
 	r.cachedPrefix = p
 	r.reserved = p
 	r.committed = p
-	if p == 0 {
-		return
-	}
+}
+
+// pendingRestore is one host-tier block a claim must bring back:
+// block ≥ 0 names a token-group block, block < 0 a Mamba checkpoint
+// at projected position pl.
+type pendingRestore struct {
+	g     *group
+	rg    *reqGroup
+	block int
+	hash  uint64
+	pl    int
+}
+
+// claimPrefix attaches the pages of a p-token valid prefix to r. It
+// runs in two passes: pass 1 claims every GPU-resident block across
+// all groups (no allocation — claiming pins them in the used state),
+// pass 2 restores host-tier blocks, whose allocations may evict or
+// spill anything *not* pinned by pass 1 or the tier pins. It reports
+// false when a pass-2 allocation failed (partial state attached —
+// the caller rolls back). With useHost false it is the historical
+// claim, performs no allocation, and always succeeds.
+func (m *Jenga) claimPrefix(seq *Sequence, r *reqState, p int, now Tick, useHost bool) bool {
+	var pending []pendingRestore
 	for gi, g := range m.groups {
 		rg := &r.g[gi]
 		if g.isVision() || !g.appliesTo(seq) {
@@ -536,6 +611,14 @@ func (m *Jenga) claim(seq *Sequence, r *reqState, now Tick) {
 			rg.chain = hashChain(rg.chain, t)
 		}
 		if g.spec.Kind == model.Mamba {
+			if useHost && pl > 0 {
+				if _, ok := g.index[rg.chain]; !ok {
+					if _, hok := m.host.lookup(g.spec.Name, rg.chain); hok {
+						pending = append(pending, pendingRestore{g: g, rg: rg, block: -1, hash: rg.chain, pl: pl})
+						continue
+					}
+				}
+			}
 			m.claimMamba(g, rg, pl, now)
 			continue
 		}
@@ -550,7 +633,11 @@ func (m *Jenga) claim(seq *Sequence, r *reqState, now Tick) {
 		hashes := blockHashes(proj, g.tpp)
 		claimBlock := func(b int) {
 			id, ok := g.index[hashes[b]]
-			check(ok, "claim: block %d of group %s vanished", b, g.spec.Name)
+			if !ok {
+				check(useHost, "claim: block %d of group %s vanished", b, g.spec.Name)
+				pending = append(pending, pendingRestore{g: g, rg: rg, block: b, hash: hashes[b]})
+				return
+			}
 			pg := &g.pages[id]
 			check(pg.hashed && pg.hash == hashes[b], "claim: stale index entry")
 			switch pg.status {
@@ -573,6 +660,63 @@ func (m *Jenga) claim(seq *Sequence, r *reqState, now Tick) {
 		rg.projCommitted = pl
 		rg.demotedBlocks = lo
 	}
+	if len(pending) == 0 {
+		return true
+	}
+	// Pass 2: every source page is pinned before the first restore,
+	// because a restore's allocation can spill — and a spill's tier
+	// eviction must never drop a sibling restore's source.
+	pins := make([]int64, len(pending))
+	for i, pr := range pending {
+		pins[i] = m.host.pin(pr.g.spec.Name, pr.hash)
+	}
+	ok := true
+	for _, pr := range pending {
+		hb, found := m.host.lookup(pr.g.spec.Name, pr.hash)
+		check(found, "claim: pinned host block vanished mid-claim")
+		blk := *hb
+		id, allocOK := m.restoreBlock(pr.g, blk, pr.hash, r.id, now)
+		if !allocOK {
+			ok = false
+			break
+		}
+		r.restoredBytes += int64(pr.g.smallBytes)
+		if pr.block >= 0 {
+			pr.rg.pages[pr.block] = pageRef{id: id, held: true}
+		} else {
+			// Mamba checkpoint: park the restored page as published
+			// cache, then claim it through the normal path.
+			m.pageRelease(pr.g, id, true, now, false)
+			m.claimMamba(pr.g, pr.rg, pr.pl, now)
+		}
+	}
+	for _, s := range pins {
+		m.host.unpin(s)
+	}
+	return ok
+}
+
+// rollbackClaim detaches everything a failed claimPrefix attached:
+// held pages return to the evictable cache (keeping whatever H2D work
+// already succeeded — the restored blocks are now GPU-resident and
+// the fallback claim picks them up), and the per-group claim state
+// resets to its pre-claim form.
+func (m *Jenga) rollbackClaim(seq *Sequence, r *reqState) {
+	for gi, g := range m.groups {
+		rg := &r.g[gi]
+		for b := range rg.pages {
+			if rg.pages[b].held {
+				pg := &g.pages[rg.pages[b].id]
+				m.pageRelease(g, rg.pages[b].id, m.cfg.EnablePrefixCache, pg.lastAccess, false)
+			}
+		}
+		r.g[gi] = reqGroup{chain: blockHashSeed, runChain: blockHashSeed, lastFullIdx: -1}
+		if g.spec.Kind == model.Mamba {
+			r.g[gi].nextCkpt = g.spec.Checkpoint()
+		}
+	}
+	r.restoredTokens = 0
+	r.restoredBytes = 0
 }
 
 // claimMamba restores the working state from a cached checkpoint.
@@ -697,7 +841,7 @@ func (m *Jenga) Diagnose(seq *Sequence) string {
 		if g.spec.Kind == model.Mamba {
 			continue
 		}
-		v := m.buildView(g, seq.Tokens)
+		v := m.buildView(g, seq.Tokens, m.host != nil)
 		present, runEnd := 0, 0
 		for k, ok := range v.Present {
 			if ok {

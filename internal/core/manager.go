@@ -29,6 +29,14 @@ type Config struct {
 	// from a group's Kind (keyed by group name). This is the hook the
 	// paper describes for plugging in new attention variants.
 	PolicyOverride map[string]Policy
+	// HostTierBytes is the host-memory KV tier budget (§8 tiered
+	// offload). When at least one large page fits, whole-large-page
+	// eviction spills instead of discarding, SwapOut preempts by
+	// moving pages to host, and prefix Lookups restore tier-resident
+	// blocks at claim time. 0 (or below one large page) disables the
+	// tier entirely — allocator behavior is then bit-identical to an
+	// untiered manager.
+	HostTierBytes int64
 }
 
 // Stats counts allocator events since construction.
@@ -41,6 +49,12 @@ type Stats struct {
 	LargeEvictions int64
 	// LargeReclaims counts large pages returned by request completion.
 	LargeReclaims int64
+	// SwapOuts counts large pages spilled to the host tier; SwapIns
+	// counts blocks restored from it (0 without a tier).
+	SwapOuts, SwapIns int64
+	// RestoredTokens counts prefix tokens served from the host tier
+	// instead of being recomputed.
+	RestoredTokens int64
 }
 
 // pageStatus is the three-state life cycle of §5.4.
@@ -143,6 +157,13 @@ type Jenga struct {
 
 	reqs  map[RequestID]*reqState
 	stats Stats
+
+	// host is the optional second memory tier (nil without one), and
+	// pendingH2D/pendingD2H the transfer bytes accumulated since the
+	// last DrainTransfers — the engine charges them to its PCIe term.
+	host       *hostTier
+	pendingH2D int64
+	pendingD2H int64
 }
 
 var _ Manager = (*Jenga)(nil)
@@ -250,6 +271,9 @@ func New(cfg Config) (*Jenga, error) {
 		m.groups = append(m.groups, g)
 		m.byName[gs.Name] = i
 	}
+	if cfg.HostTierBytes >= int64(geo.LargePageBytes) {
+		m.host = newHostTier(cfg.HostTierBytes, geo.LargePageBytes)
+	}
 	return m, nil
 }
 
@@ -324,6 +348,9 @@ func (m *Jenga) UsageTotals() Usage {
 		allocatedLarge += int64(g.ownedLarge)
 	}
 	u.Free = m.Capacity() - allocatedLarge*int64(m.geo.LargePageBytes)
+	if m.host != nil {
+		u.HostUsed, u.HostCapacity = m.host.used, m.host.capacity
+	}
 	return u
 }
 

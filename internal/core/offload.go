@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/heap"
 	"sort"
 
 	"jenga/internal/arena"
@@ -11,7 +12,9 @@ import (
 // and an ordering of what to spill first. Jenga's large pages are the
 // natural granularity — uniform across layer types — and the eviction
 // order is the offload order: what LRU would discard next is what an
-// offloader should copy out first.
+// offloader should copy out first. The built-in host tier
+// (hosttier.go) consumes exactly this order through the eviction
+// path: evictLargeLRU copies the victim page out before discarding.
 
 // OffloadHint describes one large page an offloader should spill, in
 // priority order (index 0 spills first).
@@ -28,37 +31,71 @@ type OffloadHint struct {
 	Expired bool
 }
 
+// hintLess is the offload priority: expired first, then LRU, then
+// lowest page ID — a total order, so the selection is deterministic.
+func hintLess(a, b OffloadHint) bool {
+	if a.Expired != b.Expired {
+		return a.Expired
+	}
+	if a.LastAccess != b.LastAccess {
+		return a.LastAccess < b.LastAccess
+	}
+	return a.LargePage < b.LargePage
+}
+
+// hintHeap is a bounded max-heap on hintLess: the top is the *worst*
+// kept hint, so top-k selection evicts it when a better candidate
+// appears. This keeps a bounded OffloadOrder at O(L log max) instead
+// of sorting every evictable page for any max.
+type hintHeap []OffloadHint
+
+func (h hintHeap) Len() int           { return len(h) }
+func (h hintHeap) Less(i, j int) bool { return hintLess(h[j], h[i]) }
+func (h hintHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *hintHeap) Push(x any)        { *h = append(*h, x.(OffloadHint)) }
+func (h *hintHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
 // OffloadOrder returns up to max evictable large pages in the order the
 // evictor would discard them — expired pages first, then LRU. An
 // offloading layer copies pages out in this order so that when eviction
 // strikes, the discarded bytes already live in the next memory tier.
-// The call is read-only: nothing is evicted.
+// The call is read-only: nothing is evicted. max ≤ 0 returns every
+// evictable page.
+//
+// Pages pinned by an in-flight commit are excluded: any large page
+// with a used small page on it is referenced by a live reservation
+// whose commit may still be in flight, so spilling it could race the
+// commit's writes. Only fully evictable pages (no used pages, ≥ 1
+// cached page) are advised — the same rule the evictor and the host
+// tier's spill path enforce.
 func (m *Jenga) OffloadOrder(max int) []OffloadHint {
-	var hints []OffloadHint
+	if max <= 0 || max > m.ar.NumLargePages() {
+		max = m.ar.NumLargePages()
+	}
+	var top hintHeap
 	for L := 0; L < m.ar.NumLargePages(); L++ {
+		// largeTimestamp is the commit-pin gate: it rejects pages with
+		// used (reservation-held) small pages and pages with nothing
+		// cached.
 		ts, expired, ok := m.largeTimestamp(arena.LargePageID(L))
 		if !ok {
 			continue
 		}
-		hints = append(hints, OffloadHint{
+		h := OffloadHint{
 			LargePage:  arena.LargePageID(L),
 			Group:      m.groups[m.largeOwner[L]].spec.Name,
 			LastAccess: ts,
 			Expired:    expired,
-		})
-	}
-	sort.Slice(hints, func(i, j int) bool {
-		if hints[i].Expired != hints[j].Expired {
-			return hints[i].Expired
 		}
-		if hints[i].LastAccess != hints[j].LastAccess {
-			return hints[i].LastAccess < hints[j].LastAccess
+		if len(top) < max {
+			heap.Push(&top, h)
+		} else if hintLess(h, top[0]) {
+			top[0] = h
+			heap.Fix(&top, 0)
 		}
-		return hints[i].LargePage < hints[j].LargePage
-	})
-	if max > 0 && len(hints) > max {
-		hints = hints[:max]
 	}
+	hints := []OffloadHint(top)
+	sort.Slice(hints, func(i, j int) bool { return hintLess(hints[i], hints[j]) })
 	return hints
 }
 

@@ -59,6 +59,44 @@ const (
 	VisionReuseKV
 )
 
+// PreemptMode selects what happens to a preemption victim's KV.
+type PreemptMode int
+
+const (
+	// PreemptRecompute releases the victim's pages (cache-preserving)
+	// and recomputes whatever the prefix cache no longer holds when
+	// the victim is re-admitted — vLLM-style recompute preemption, the
+	// historical behavior the golden tests pin.
+	PreemptRecompute PreemptMode = iota
+	// PreemptSwap moves the victim's pages to the manager's host
+	// memory tier (core.TierManager.SwapOut): when pressure later
+	// evicts them from the GPU, the bytes survive one tier down, and
+	// re-admission restores them over PCIe instead of recomputing.
+	// Managers without the TierManager capability (the PagedAttention
+	// baselines) degrade to PreemptRecompute.
+	PreemptSwap
+)
+
+// String names the mode for flags and reports.
+func (m PreemptMode) String() string {
+	if m == PreemptSwap {
+		return "swap"
+	}
+	return "recompute"
+}
+
+// ParsePreemptMode converts a flag spelling.
+func ParsePreemptMode(s string) (PreemptMode, error) {
+	switch s {
+	case "", "recompute":
+		return PreemptRecompute, nil
+	case "swap":
+		return PreemptSwap, nil
+	default:
+		return PreemptRecompute, fmt.Errorf("engine: unknown preempt mode %q (want recompute or swap)", s)
+	}
+}
+
 // Config configures an engine run.
 type Config struct {
 	// Spec is the true model architecture.
@@ -94,6 +132,9 @@ type Config struct {
 	// sched.NewPriority() (or another priority-aware policy) for the
 	// field to take effect.
 	Scheduler sched.Scheduler
+	// PreemptMode selects recompute- or swap-based preemption
+	// (default recompute, the golden-pinned historical behavior).
+	PreemptMode PreemptMode
 	// SampleEvery records a memory-usage sample every N steps
 	// (0 disables the timeline).
 	SampleEvery int
@@ -125,6 +166,14 @@ type RequestMetrics struct {
 	Priority int
 	// Tokens is the request's served work: prompt plus output tokens.
 	Tokens int
+	// RestoredTokens and RestoreBytes are the request's host-tier
+	// share: prefix tokens the tier served (beyond the GPU-only
+	// prefix) instead of recompute, and the H2D bytes that cost;
+	// RestoreTime is the PCIe time of those bytes — report layers
+	// take restore-latency percentiles over it.
+	RestoredTokens int
+	RestoreBytes   int64
+	RestoreTime    time.Duration
 }
 
 // kvUtilEvery is the step stride for KV-utilization sampling (cheap
@@ -168,8 +217,26 @@ type Result struct {
 	// capacity holding live or cached KV, sampled every kvUtilEvery
 	// steps.
 	MeanKVUtil, PeakKVUtil float64
-	// Preemptions counts recompute-preemptions.
+	// Preemptions counts preemptions (recompute- or swap-mode).
 	Preemptions int
+	// RecomputedTokens counts prompt-pass tokens that had already been
+	// computed once for the same request — the work preemption wastes
+	// and the host tier exists to avoid.
+	RecomputedTokens int64
+	// RestoredTokens counts prefix tokens served from the host tier
+	// (H2D restore) instead of being recomputed, over claims whose
+	// admission succeeded; TierHitRate is their share of all prefill
+	// work (cached + computed), the tier counterpart of (and bounded
+	// by) HitRate. Both are zero without a tiered manager.
+	RestoredTokens int64
+	TierHitRate    float64
+	// SwapOuts and SwapIns count large pages spilled to and blocks
+	// restored from the host tier; SwapOutBytes/SwapInBytes are the
+	// D2H/H2D volumes. HostTierUsed/HostTierCapacity snapshot the
+	// tier at the end of the run.
+	SwapOuts, SwapIns              int64
+	SwapOutBytes, SwapInBytes      int64
+	HostTierUsed, HostTierCapacity int64
 	// EncoderRuns counts vision-encoder invocations (Fig. 18).
 	EncoderRuns int
 	// Shed counts requests the admission policy dropped at arrival.
@@ -212,10 +279,18 @@ type run struct {
 	// alive reports membership in Engine.running (an O(1) stand-in for
 	// scanning the running list when a preemption may have removed the
 	// run mid-step).
-	alive      bool
-	firstToken time.Duration
-	finish     time.Duration
-	started    bool
+	alive bool
+	// everComputed is the high-water mark of computed: prefill work
+	// below it is recomputation (preemption waste), which the host
+	// tier avoids by restoring instead.
+	everComputed int
+	// restoredTokens and restoredBytes accumulate the run's host-tier
+	// restore share across (re)admissions.
+	restoredTokens int
+	restoredBytes  int64
+	firstToken     time.Duration
+	finish         time.Duration
+	started        bool
 }
 
 // advanceCtx folds tokens [from, to) into the run's committed text and
@@ -265,6 +340,8 @@ type Engine struct {
 	totalCachedTokens   int64
 	totalPromptTokens   int64
 	totalGenerated      int64
+	totalRecomputed     int64
+	totalRestored       int64
 	preemptions         int
 	encoderRuns         int
 	globalStalls        int
@@ -290,6 +367,13 @@ type Engine struct {
 	scheduler  sched.Scheduler
 	schedView  sched.View
 	admPreempt bool
+
+	// tier is the manager's host-tier capability (nil for managers
+	// without one, e.g. the PagedAttention baselines); tierBase is
+	// the counter snapshot taken at reset so Result reports per-run
+	// deltas even on a warm manager.
+	tier     core.TierManager
+	tierBase core.TierStats
 }
 
 // New validates the config and builds an engine.
@@ -321,6 +405,7 @@ func New(cfg Config) (*Engine, error) {
 		e.scheduler = sched.NewFCFS()
 	}
 	e.admPreempt = sched.CanAdmissionPreempt(e.scheduler)
+	e.tier, _ = cfg.Manager.(core.TierManager)
 	// 2 FLOPs per active parameter per token, compute-bound: the same
 	// first-order term the cost model charges per scheduled token.
 	if f := cfg.Device.FLOPS; f > 0 {
@@ -365,7 +450,12 @@ func (e *Engine) reset() {
 	e.totalCachedTokens = 0
 	e.totalPromptTokens = 0
 	e.totalGenerated = 0
+	e.totalRecomputed = 0
+	e.totalRestored = 0
 	e.preemptions = 0
+	if e.tier != nil {
+		e.tierBase = e.tier.TierStats()
+	}
 	e.encoderRuns = 0
 	e.globalStalls = 0
 	e.kvUtilSum = 0
@@ -561,10 +651,14 @@ func (e *Engine) runStep() bool {
 			// Could not reserve the first chunk: admission is
 			// all-or-nothing, so drop any partial reservation (a
 			// waiting request must hold no memory — it is invisible to
-			// preemption) and stop admitting.
+			// preemption) and stop admitting. The release preserves
+			// cache: the claim may have attached previously cached (or
+			// host-tier-restored) complete blocks, and destroying them
+			// here would force the next admission attempt to restore
+			// or recompute the identical content again.
 			e.running = e.running[:len(e.running)-1]
 			r.alive = false
-			e.cfg.Manager.Release(r.seq, false)
+			e.cfg.Manager.Release(r.seq, true)
 			r.computed = 0
 			r.resetCtx()
 			r.cachedHit = 0
@@ -582,15 +676,29 @@ func (e *Engine) runStep() bool {
 		return false
 	}
 
-	// Execute: advance the clock by the cost model, then commit.
+	// Execute: advance the clock by the cost model, then commit. The
+	// manager's tier transfers (spills during this step's evictions,
+	// restores during its claims) ride the PCIe term of the same step.
+	if e.tier != nil {
+		h2d, d2h := e.tier.DrainTransfers()
+		work.SwapBytes += h2d + d2h
+	}
 	e.clock += e.cost.StepTime(work)
 	e.decodeTimeline = append(e.decodeTimeline, decodeBatch)
 	for _, r := range committers {
 		e.cfg.Manager.Commit(r.seq, r.pendingTarget, now)
 		if r.ph == phasePrefill {
 			e.totalPromptComputed += int64(r.pendingTarget - r.computed)
+			// Work below the run's high-water mark was computed once
+			// already: recomputation, the waste swap preemption avoids.
+			if rec := min(r.pendingTarget, r.everComputed) - r.computed; rec > 0 {
+				e.totalRecomputed += int64(rec)
+			}
 			r.advanceCtx(r.computed, r.pendingTarget)
 			r.computed = r.pendingTarget
+			if r.computed > r.everComputed {
+				r.everComputed = r.computed
+			}
 			if e.cfg.Vision == VisionFreeOnDemand && e.cfg.Manager.SupportsVisionCache() {
 				e.cfg.Manager.DropImages(r.seq, r.computed)
 			}
@@ -610,6 +718,9 @@ func (e *Engine) runStep() bool {
 		} else {
 			r.advanceCtx(r.computed, r.pendingTarget)
 			r.computed = r.pendingTarget
+			if r.computed > r.everComputed {
+				r.everComputed = r.computed
+			}
 			r.decodesDone++
 			e.totalGenerated++
 			e.emit(EventToken, r)
@@ -675,15 +786,50 @@ func (e *Engine) schedulePrefill(r *run, budget int, now core.Tick, work *gpu.St
 	if err := e.cfg.Manager.Reserve(r.seq, target, now); err != nil {
 		return 0
 	}
-	// A prefix hit skips compute for [r.computed, claimed).
+	// A prefix hit skips compute for [r.computed, claimed). A
+	// host-tier claim can come back shorter than the advisory Lookup
+	// promised (mid-claim restore ran out of device memory and fell
+	// back to the GPU-only prefix): reconcile cachedHit down so later
+	// chunks size themselves from the real claim, not the stale
+	// advisory. Untiered, claim and advisory always agree.
 	claimed := e.cfg.Manager.CachedPrefix(r.seq)
+	if claimed < r.cachedHit {
+		r.cachedHit = claimed
+	}
 	if claimed > r.computed {
 		e.totalCachedTokens += int64(claimed - r.computed)
 		r.advanceCtx(r.computed, claimed)
 		r.computed = claimed
+		if r.computed > r.everComputed {
+			r.everComputed = r.computed
+		}
+		// The claim runs once per (re)admission; fold its host-tier
+		// restore share into the run's record and the run totals.
+		// This branch only runs after the first chunk reserved
+		// successfully, so claims whose admission rolled back (and
+		// whose restored blocks may thrash back to the tier and be
+		// restored again) never inflate RestoredTokens past the
+		// prefill work actually served — TierHitRate stays ≤ HitRate.
+		if e.tier != nil {
+			if tok, bytes := e.tier.RestoreCost(r.seq); tok > 0 || bytes > 0 {
+				r.restoredTokens += tok
+				r.restoredBytes += bytes
+				e.totalRestored += int64(tok)
+			}
+		}
 	}
 	if target < r.computed {
 		target = r.computed
+	}
+	// A host-tier claim can fall back to a shorter GPU-only prefix
+	// than the advisory Lookup promised (mid-claim restore ran out of
+	// device memory): clamp the commit target so the step still
+	// computes at most `chunk` tokens — the budget cap must hold even
+	// on the fallback path. Reserved-but-uncommitted slots beyond the
+	// clamp stay reserved for the next chunk. Untiered, the claim
+	// always equals the advisory lookup and the clamp is a no-op.
+	if target > r.computed+chunk {
+		target = r.computed + chunk
 	}
 	r.pendingTarget = target
 	r.scheduledStep = e.step
@@ -844,9 +990,18 @@ func clampBudget(share, total int) int {
 	return share
 }
 
-// preempt releases a sequence's memory and requeues it for recompute.
+// preempt releases a sequence's memory and requeues it. In recompute
+// mode the victim's pages return to the evictable prefix cache; in
+// swap mode they additionally move to the manager's host tier, so the
+// victim resumes by restoring over PCIe even if GPU pressure evicted
+// everything in between. Either way re-admission goes through the
+// prefix-cache claim, so whatever survives is never recomputed.
 func (e *Engine) preempt(victim *run) {
-	e.cfg.Manager.Release(victim.seq, true)
+	if e.cfg.PreemptMode == PreemptSwap && e.tier != nil {
+		e.tier.SwapOut(victim.seq)
+	} else {
+		e.cfg.Manager.Release(victim.seq, true)
+	}
 	victim.ph = phasePrefill
 	victim.computed = 0
 	victim.resetCtx()
@@ -958,6 +1113,7 @@ func (e *Engine) result() *Result {
 		CachedPromptTokens:   e.totalCachedTokens,
 		ComputedPromptTokens: e.totalPromptComputed,
 		GeneratedTokens:      e.totalGenerated,
+		RecomputedTokens:     e.totalRecomputed,
 		PeakKVUtil:           e.kvUtilPeak,
 		DecodeBatchTimeline:  e.decodeTimeline,
 		MemTimeline:          e.memTimeline,
@@ -974,6 +1130,28 @@ func (e *Engine) result() *Result {
 	if work := e.totalCachedTokens + e.totalPromptComputed; work > 0 {
 		res.HitRate = float64(e.totalCachedTokens) / float64(work)
 	}
+	// Host-tier accounting. Transfer counts and volumes are per-run
+	// deltas of the manager's counters (the manager may be warm
+	// across runs) and include every wire transfer, even for claims
+	// whose admission later rolled back. RestoredTokens is the
+	// engine's served-claims tally — the subset of restored prefix
+	// that reached admitted work — and TierHitRate is computed from
+	// it, so the engine result, serve.Report and the cluster's
+	// fleet-exact aggregation all derive the same rate from the same
+	// counter, bounded by HitRate.
+	if e.tier != nil {
+		ts := e.tier.TierStats()
+		res.SwapOuts = ts.SwapOuts - e.tierBase.SwapOuts
+		res.SwapIns = ts.SwapIns - e.tierBase.SwapIns
+		res.SwapOutBytes = ts.SpilledBytes - e.tierBase.SpilledBytes
+		res.SwapInBytes = ts.RestoredBytes - e.tierBase.RestoredBytes
+		res.RestoredTokens = e.totalRestored
+		res.HostTierUsed = ts.HostUsed
+		res.HostTierCapacity = ts.HostCapacity
+		if work := e.totalCachedTokens + e.totalPromptComputed; work > 0 {
+			res.TierHitRate = float64(res.RestoredTokens) / float64(work)
+		}
+	}
 	var ttft, e2e, tpot time.Duration
 	var tpotN int
 	res.PerRequest = make([]RequestMetrics, 0, len(e.finished))
@@ -981,14 +1159,17 @@ func (e *Engine) result() *Result {
 		ttft += r.firstToken - r.req.Arrival
 		e2e += r.finish - r.req.Arrival
 		res.PerRequest = append(res.PerRequest, RequestMetrics{
-			ID:       r.req.ID,
-			Arrival:  r.req.Arrival,
-			TTFT:     r.firstToken - r.req.Arrival,
-			E2E:      r.finish - r.req.Arrival,
-			Deadline: r.req.Deadline,
-			Group:    r.req.Group,
-			Priority: r.req.Priority,
-			Tokens:   r.promptLen() + r.req.OutputLen,
+			ID:             r.req.ID,
+			Arrival:        r.req.Arrival,
+			TTFT:           r.firstToken - r.req.Arrival,
+			E2E:            r.finish - r.req.Arrival,
+			Deadline:       r.req.Deadline,
+			Group:          r.req.Group,
+			Priority:       r.req.Priority,
+			Tokens:         r.promptLen() + r.req.OutputLen,
+			RestoredTokens: r.restoredTokens,
+			RestoreBytes:   r.restoredBytes,
+			RestoreTime:    e.cfg.Device.PCIeTime(r.restoredBytes),
 		})
 		if r.req.OutputLen > 1 {
 			tpot += (r.finish - r.firstToken) / time.Duration(r.req.OutputLen-1)

@@ -28,6 +28,11 @@ type Device struct {
 	FLOPS float64
 	// MemBW is effective memory bandwidth in bytes/second.
 	MemBW float64
+	// PCIeBW is effective host↔device interconnect bandwidth in
+	// bytes/second (H2D ≈ D2H), the cost term of tiered KV offload:
+	// spilling a large page to host memory and restoring it back both
+	// ride this link. 0 falls back to DefaultPCIeBW.
+	PCIeBW float64
 	// StepOverhead is the fixed per-step launch/scheduling cost.
 	StepOverhead time.Duration
 }
@@ -38,6 +43,7 @@ func H100() Device {
 	return Device{
 		Name: "H100", MemBytes: 80 << 30,
 		FLOPS: 600e12, MemBW: 2.7e12,
+		PCIeBW:       50e9, // PCIe gen5 ×16, derated
 		StepOverhead: 2 * time.Millisecond,
 	}
 }
@@ -48,6 +54,7 @@ func L4() Device {
 	return Device{
 		Name: "L4", MemBytes: 24 << 30,
 		FLOPS: 80e12, MemBW: 250e9,
+		PCIeBW:       20e9, // PCIe gen4 ×16, derated
 		StepOverhead: 2 * time.Millisecond,
 	}
 }
@@ -55,6 +62,10 @@ func L4() Device {
 // DefaultReserveFraction is the device memory held back for activations
 // and CUDA graphs (the "reserve" band in Fig. 16).
 const DefaultReserveFraction = 0.08
+
+// DefaultPCIeBW is the host↔device bandwidth assumed for devices that
+// do not declare one (hand-built test devices): PCIe gen4-class.
+const DefaultPCIeBW = 25e9
 
 // encoderWorkFactor scales vision-encoder FLOPs above the 2·params·
 // tokens GEMM estimate: high-resolution pipelines (anyres/multi-crop)
@@ -93,6 +104,10 @@ type StepWork struct {
 	// ExtraWeightPasses counts additional full weight reads in the step
 	// (e.g. a speculative draft model running alongside the target).
 	ExtraWeightBytes int64
+	// SwapBytes is the host↔device KV transfer volume of the step
+	// (tiered-offload spills plus restores, H2D and D2H combined);
+	// it rides the PCIe link, not HBM.
+	SwapBytes int64
 	// KernelEfficiency scales compute/bandwidth terms; 1.0 is the
 	// native kernel. The GCD-page ablation uses < 1 (§4.4: GCD paging
 	// forces non-contiguous KV layouts that efficient kernels reject).
@@ -113,7 +128,7 @@ func (c *CostModel) StepTime(w StepWork) time.Duration {
 		eff = 1
 	}
 	tokens := float64(w.PrefillTokens + w.DecodeSeqs)
-	if tokens == 0 && w.EncoderTokens == 0 {
+	if tokens == 0 && w.EncoderTokens == 0 && w.SwapBytes == 0 {
 		return 0
 	}
 	var sec float64
@@ -134,7 +149,24 @@ func (c *CostModel) StepTime(w StepWork) time.Duration {
 		sec += encoderWorkFactor * 2 * float64(c.Spec.Vision.Params) * float64(w.EncoderTokens) / c.Dev.FLOPS
 	}
 	sec /= eff
-	return c.Dev.StepOverhead + time.Duration(sec*float64(time.Second))
+	// PCIe transfers are DMA, not kernel work: they do not scale with
+	// kernel efficiency.
+	return c.Dev.StepOverhead + c.Dev.PCIeTime(w.SwapBytes) + time.Duration(sec*float64(time.Second))
+}
+
+// PCIeTime converts a host↔device transfer volume into wire time on
+// the device's interconnect (DefaultPCIeBW when the device declares
+// none) — the single bandwidth-resolution rule behind both the step
+// cost model and per-request restore latencies.
+func (d Device) PCIeTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := d.PCIeBW
+	if bw <= 0 {
+		bw = DefaultPCIeBW
+	}
+	return time.Duration(float64(bytes) / bw * float64(time.Second))
 }
 
 // DecodeKVReadBytes returns the attention KV traffic of one decode step

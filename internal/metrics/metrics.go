@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"time"
 )
@@ -48,7 +49,11 @@ func Percentiles(xs []time.Duration, ps ...float64) []time.Duration {
 	return out
 }
 
-// percentileSorted is the nearest-rank rule over a sorted sample.
+// percentileSorted is the nearest-rank rule over a sorted sample:
+// rank ⌈n·p/100⌉, 1-indexed. (A round-half-up variant shipped here
+// once disagreed with nearest rank on small samples — n=6, p=20
+// picked rank 1 instead of 2 — and understated p99 by one rank for
+// most sample sizes.)
 func percentileSorted(cp []time.Duration, p float64) time.Duration {
 	if p <= 0 {
 		return cp[0]
@@ -56,7 +61,7 @@ func percentileSorted(cp []time.Duration, p float64) time.Duration {
 	if p >= 100 {
 		return cp[len(cp)-1]
 	}
-	idx := int(float64(len(cp))*p/100+0.5) - 1
+	idx := int(math.Ceil(float64(len(cp))*p/100)) - 1
 	if idx < 0 {
 		idx = 0
 	}

@@ -572,6 +572,20 @@ type Report struct {
 	Preemptions            int
 	// GeneratedTokens counts decode-produced tokens.
 	GeneratedTokens int64
+	// TierHitRate is the host-tier share of all prefill work (tokens
+	// restored over PCIe instead of recomputed); RestoredTokens is
+	// its numerator and SwapOuts/SwapIns the page/block transfer
+	// counts — all zero without a tiered manager. RecomputedTokens is
+	// the engine-level recompute waste (prompt work computed more
+	// than once for the same request); it accumulates with or without
+	// a tier, and the tier's job is to drive it toward zero.
+	TierHitRate       float64
+	RestoredTokens    int64
+	RecomputedTokens  int64
+	SwapOuts, SwapIns int64
+	// P99Restore is the p99 per-request PCIe restore time over
+	// finished streams — what a spilled-prefix hit costs at the tail.
+	P99Restore time.Duration
 	// PerPriority breaks the scorecard down by scheduling class,
 	// ascending by priority — how a Priority scheduler trades
 	// low-class latency for high-class SLO attainment. Every class
@@ -611,14 +625,26 @@ func (s *Server) Report() Report {
 	defer s.mu.Unlock()
 	er := s.eng.ResultSnapshot()
 	r := Report{
-		Submitted:       s.submitted,
-		Live:            len(s.streams),
-		Duration:        s.eng.Clock(),
-		HitRate:         er.HitRate,
-		MeanKVUtil:      er.MeanKVUtil,
-		PeakKVUtil:      er.PeakKVUtil,
-		Preemptions:     er.Preemptions,
-		GeneratedTokens: er.GeneratedTokens,
+		Submitted:        s.submitted,
+		Live:             len(s.streams),
+		Duration:         s.eng.Clock(),
+		HitRate:          er.HitRate,
+		MeanKVUtil:       er.MeanKVUtil,
+		PeakKVUtil:       er.PeakKVUtil,
+		Preemptions:      er.Preemptions,
+		GeneratedTokens:  er.GeneratedTokens,
+		TierHitRate:      er.TierHitRate,
+		RestoredTokens:   er.RestoredTokens,
+		RecomputedTokens: er.RecomputedTokens,
+		SwapOuts:         er.SwapOuts,
+		SwapIns:          er.SwapIns,
+	}
+	if len(er.PerRequest) > 0 {
+		restores := make([]time.Duration, 0, len(er.PerRequest))
+		for _, rm := range er.PerRequest {
+			restores = append(restores, rm.RestoreTime)
+		}
+		r.P99Restore = metrics.Percentile(restores, 99)
 	}
 	// perPrio accumulates the per-class breakdown alongside the
 	// aggregate pass.

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"jenga/internal/core"
+	"jenga/internal/engine"
+	"jenga/internal/workload"
+)
+
+// TestReportTierMetrics drives a cache-pressured tiered server online
+// and checks the tier columns of the scorecard: positive tier hit
+// rate bounded by the overall hit rate, transfer counts, and a
+// restore p99; an untiered server on the same stream reports zeros.
+func TestReportTierMetrics(t *testing.T) {
+	run := func(hostBytes int64) Report {
+		mgr, err := core.New(core.Config{
+			Spec: testSpec(), CapacityBytes: 1 << 20, TokensPerPage: 8,
+			EnablePrefixCache: true, RequestAware: true,
+			HostTierBytes: hostBytes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Engine: engine.Config{
+			Spec: testSpec(), Device: testDevice(), Manager: mgr,
+			PreemptMode: engine.PreemptSwap,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shared prefixes whose working set overflows the 1 MiB budget:
+		// without a tier every re-arrival recomputes its group prefix.
+		g := workload.NewGen(5)
+		reqs := g.PrefixGroups(16, 6, 400, 32)
+		g.PoissonArrivals(reqs, 400)
+		for _, r := range reqs {
+			if _, err := s.Submit(context.Background(), r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Report()
+	}
+
+	tiered := run(64 << 20)
+	if tiered.SwapOuts == 0 || tiered.SwapIns == 0 || tiered.RestoredTokens == 0 {
+		t.Fatalf("tiered server moved nothing: %+v", tiered)
+	}
+	if tiered.TierHitRate <= 0 || tiered.TierHitRate > tiered.HitRate {
+		t.Fatalf("TierHitRate = %v, want in (0, HitRate=%v]", tiered.TierHitRate, tiered.HitRate)
+	}
+	if tiered.P99Restore <= 0 {
+		t.Fatalf("P99Restore = %v, want > 0", tiered.P99Restore)
+	}
+
+	bare := run(0)
+	if bare.SwapOuts != 0 || bare.SwapIns != 0 || bare.RestoredTokens != 0 ||
+		bare.TierHitRate != 0 || bare.P99Restore != 0 {
+		t.Fatalf("untiered server reports tier activity: %+v", bare)
+	}
+	if tiered.HitRate <= bare.HitRate {
+		t.Errorf("tiered hit rate %v not above untiered %v", tiered.HitRate, bare.HitRate)
+	}
+}

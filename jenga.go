@@ -26,6 +26,11 @@
 //     every config surface accepts a Scheduler and defaults to FCFS.
 //   - NewSpeculative drives two-model speculative decoding over shared
 //     or split heaps.
+//   - ManagerConfig.HostTierBytes adds a host-memory KV tier (§8):
+//     whole-large-page eviction spills to host instead of discarding,
+//     prefix lookups restore spilled blocks over PCIe, and
+//     EngineConfig.PreemptMode = PreemptSwap turns preemption into
+//     swap-out/swap-in instead of recompute.
 //   - NewCluster scales serving out to N engine replicas behind a
 //     pluggable request router (round-robin, least-loaded,
 //     prefix-affinity); Serve is the deterministic batch path,
@@ -131,6 +136,15 @@ type (
 	GroupSeqView = core.GroupSeqView
 	// OffloadHint is one page an offloading tier should spill (§8).
 	OffloadHint = core.OffloadHint
+	// TierManager is the optional Manager capability behind the host
+	// memory tier: swap-based preemption (SwapOut), per-step transfer
+	// draining for the PCIe cost term, and tier statistics.
+	// JengaManager implements it; enable the tier with
+	// ManagerConfig.HostTierBytes.
+	TierManager = core.TierManager
+	// TierStats snapshots the host tier's counters (spills, restores,
+	// transfer bytes, restored tokens, budget evictions).
+	TierStats = core.TierStats
 	// BaselineConfig configures NewPagedBaseline.
 	BaselineConfig = baseline.Config
 	// PagedBaseline is the vLLM-style homogeneous manager.
@@ -171,6 +185,10 @@ type (
 	MemSample = engine.MemSample
 	// VisionStrategy selects the §6.2 embedding-cache strategy.
 	VisionStrategy = engine.VisionStrategy
+	// PreemptMode selects recompute- or swap-based preemption.
+	PreemptMode = engine.PreemptMode
+	// RequestMetrics is one finished request's latency/restore record.
+	RequestMetrics = engine.RequestMetrics
 )
 
 // Vision strategies (§6.2).
@@ -179,6 +197,19 @@ const (
 	VisionFreeOnDemand = engine.VisionFreeOnDemand
 	VisionReuseKV      = engine.VisionReuseKV
 )
+
+// Preemption modes: recompute (vLLM-style, the default) or swap (the
+// victim's pages move to the manager's host tier and resume by PCIe
+// restore instead of recompute — requires a tiered manager, see
+// ManagerConfig.HostTierBytes). ParsePreemptMode converts flag
+// spellings.
+const (
+	PreemptRecompute = engine.PreemptRecompute
+	PreemptSwap      = engine.PreemptSwap
+)
+
+// ParsePreemptMode converts a flag spelling ("recompute", "swap").
+var ParsePreemptMode = engine.ParsePreemptMode
 
 // NewEngine builds a serving simulation.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
