@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"jenga"
 	"jenga/internal/bench"
 	"jenga/internal/cluster"
 	"jenga/internal/engine"
@@ -61,6 +62,12 @@ func main() {
 		prefixLen = flag.Int("prefix-len", 1024, "shared-prefix length in tokens")
 
 		benchCore   = flag.Bool("bench-core", false, "run the core hot-path micro-benchmarks and write BENCH_core.json (path via -bench-json)")
+		fanout      = flag.Bool("fanout", false, "run the fan-out serving benchmark: copy-on-write forked branches vs naive independent branches (merges a fanout section into -bench-json)")
+		fanBranch   = flag.Int("fanout-branch", 8, "fan-out branches per root")
+		fanPrompt   = flag.Int("fanout-prompt", 256, "fan-out prompt length in tokens")
+		fanAfter    = flag.Int("fanout-after", 770, "output tokens shared by all branches before the fork point")
+		fanOutLen   = flag.Int("fanout-out", 834, "total output tokens per branch")
+		fanRoots    = flag.Int("fanout-roots", 16, "fan-out roots in the traffic sub-experiment (rate via -rate, default 3 req/s)")
 		stream      = flag.Bool("stream", false, "run the online streaming-serving benchmark (event-driven core, live routing, admission)")
 		sloTTFT     = flag.Duration("slo-ttft", 750*time.Millisecond, "stream-mode TTFT target for SLO attainment and the slo admission policy")
 		deadline    = flag.Duration("deadline", 0, "stream-mode per-request E2E deadline for goodput (0 = none)")
@@ -83,6 +90,22 @@ func main() {
 			out = "BENCH_core.json"
 		}
 		if err := runBenchCore(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fanout {
+		if *exp != "" || *list || *csv != "" || *stream || *replicas > 0 {
+			fmt.Fprintln(os.Stderr, "fan-out mode (-fanout) does not combine with -exp, -list, -csv, -stream or -replicas")
+			os.Exit(1)
+		}
+		r := *rate
+		if r <= 0 {
+			r = 3
+		}
+		if err := runFanout(*modelName, *device, *fanPrompt, *fanAfter, *fanOutLen, *fanBranch,
+			*fanRoots, r, *kvGB, *seed, *benchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -184,7 +207,7 @@ func runCluster(replicas int, router, modelName, device string, requests int, ra
 	if router == "all" {
 		policies = []cluster.RouterPolicy{cluster.RoundRobin, cluster.LeastLoaded, cluster.PrefixAffinity}
 	} else {
-		p, err := cluster.ParsePolicy(router)
+		p, err := jenga.ParseRouterOption(router)
 		if err != nil {
 			return err
 		}
@@ -262,6 +285,60 @@ type servingBench struct {
 	KvGB   float64 `json:"kv_gb"`
 
 	Policies []servingPolicyBench `json:"policies"`
+
+	// Fanout is the fan-out sharing scorecard (-fanout mode); -stream
+	// and -fanout each rewrite their own section of the file and
+	// preserve the other's.
+	Fanout *fanoutBench `json:"fanout,omitempty"`
+}
+
+// fanoutBench is the -fanout section of BENCH_serving.json: the same
+// fan-out shape served twice — forked copy-on-write branches vs naive
+// independent branches — so the per-branch KV footprint and the branch
+// TTFT advantage are tracked across PRs.
+type fanoutBench struct {
+	Model     string  `json:"model"`
+	Device    string  `json:"device"`
+	PromptLen int     `json:"prompt_len"`
+	ForkAfter int     `json:"fork_after"`
+	OutputLen int     `json:"output_len"`
+	Branch    int     `json:"branch"`
+	Roots     int     `json:"roots"`
+	RatePerS  float64 `json:"rate_per_s"`
+	KvGB      float64 `json:"kv_gb"`
+
+	Modes []fanoutModeBench `json:"modes"`
+	// SavingsX is naive kv_bytes_per_branch over fork's: how many
+	// times less KV a forked branch holds at the memory peak.
+	SavingsX float64 `json:"kv_bytes_per_branch_savings_x"`
+}
+
+// fanoutModeBench is one mode's row: memory columns from the
+// single-root sub-experiment (peak KV with every branch live), traffic
+// columns from the Poisson-roots sub-experiment.
+type fanoutModeBench struct {
+	Mode             string  `json:"mode"`
+	PeakKVBytes      int64   `json:"peak_kv_bytes"`
+	KVBytesPerBranch float64 `json:"kv_bytes_per_branch"`
+	Forks            int64   `json:"forks"`
+	CowCopies        int64   `json:"cow_copies"`
+	CowCopyBytes     int64   `json:"cow_copy_bytes"`
+	ReqPerSec        float64 `json:"req_per_s"`
+	P50TTFTMs        float64 `json:"p50_ttft_ms"`
+	P99TTFTMs        float64 `json:"p99_ttft_ms"`
+	Finished         int     `json:"finished"`
+	Failed           int     `json:"failed"`
+}
+
+// loadServingBench reads an existing scorecard file so one mode's write
+// can preserve the other mode's section (missing or unreadable file →
+// zero value).
+func loadServingBench(path string) servingBench {
+	var sb servingBench
+	if buf, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(buf, &sb)
+	}
+	return sb
 }
 
 // servingPolicyBench is one (scheduling policy, preempt mode) row of
@@ -312,11 +389,11 @@ func runStream(replicas int, router, modelName, device string, requests int, rat
 	if err != nil {
 		return err
 	}
-	policy, err := cluster.ParsePolicy(router)
+	policy, err := jenga.ParseRouterOption(router)
 	if err != nil {
 		return err
 	}
-	adm, err := engine.ParseAdmission(admission, sloTTFT)
+	adm, err := jenga.ParseAdmissionOption(admission, sloTTFT)
 	if err != nil {
 		return err
 	}
@@ -326,7 +403,7 @@ func runStream(replicas int, router, modelName, device string, requests int, rat
 	}
 	schedulers := make([]sched.Scheduler, len(schedNames))
 	for i, name := range schedNames {
-		s, err := sched.ParseScheduler(name)
+		s, err := jenga.ParseSchedulerOption(name)
 		if err != nil {
 			return err
 		}
@@ -337,7 +414,7 @@ func runStream(replicas int, router, modelName, device string, requests int, rat
 	case "all":
 		preemptModes = []engine.PreemptMode{engine.PreemptRecompute, engine.PreemptSwap}
 	default:
-		m, err := engine.ParsePreemptMode(preempt)
+		m, err := jenga.ParsePreemptOption(preempt)
 		if err != nil {
 			return err
 		}
@@ -427,6 +504,7 @@ func runStream(replicas int, router, modelName, device string, requests int, rat
 	if benchJSON == "" {
 		return nil
 	}
+	out.Fanout = loadServingBench(benchJSON).Fanout
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -435,5 +513,93 @@ func runStream(replicas int, router, modelName, device string, requests int, rat
 		return err
 	}
 	fmt.Printf("wrote %s\n", benchJSON)
+	return nil
+}
+
+// runFanout runs the fan-out sharing benchmark: the identical fan-out
+// shape served with copy-on-write forking and with naive independent
+// branches. Two sub-experiments per mode — memory (one root, every
+// branch live at once, peak KV per branch) and traffic (Poisson roots,
+// branch throughput and TTFT percentiles) — merge into one row.
+func runFanout(modelName, device string, prompt, after, outLen, branch, roots int,
+	rate, kvGB float64, seed int64, benchJSON string) error {
+	spec, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := parseDevice(device)
+	if err != nil {
+		return err
+	}
+	base := bench.FanoutOptions{
+		Spec: spec, Device: dev, CapacityBytes: int64(kvGB * float64(1<<30)),
+		PromptLen: prompt, ForkAfter: after, OutputLen: outLen, Branch: branch,
+		Seed: seed,
+	}
+	fb := fanoutBench{
+		Model: spec.Name, Device: dev.Name,
+		PromptLen: prompt, ForkAfter: after, OutputLen: outLen, Branch: branch,
+		Roots: roots, RatePerS: rate, KvGB: kvGB,
+	}
+	fmt.Printf("fanout: %s on %s, branch %d after %d shared output tokens (prompt %d, %d per branch); traffic: %d roots at %.1f req/s\n",
+		spec.Name, dev.Name, branch, after, prompt, outLen, roots, rate)
+	fmt.Printf("%-6s %14s %14s %8s %10s %8s %10s %10s %9s\n",
+		"mode", "peak KV", "KV/branch", "forks", "cow bytes", "req/s", "p50 TTFT", "p99 TTFT", "finished")
+	for _, naive := range []bool{false, true} {
+		mem := base
+		mem.Roots, mem.Rate, mem.Naive = 1, 0, naive
+		mres, err := bench.RunFanout(mem)
+		if err != nil {
+			return err
+		}
+		traffic := base
+		traffic.Roots, traffic.Rate, traffic.Naive = roots, rate, naive
+		tres, err := bench.RunFanout(traffic)
+		if err != nil {
+			return err
+		}
+		mode := "fork"
+		if naive {
+			mode = "naive"
+		}
+		row := fanoutModeBench{
+			Mode:             mode,
+			PeakKVBytes:      mres.PeakKVBytes,
+			KVBytesPerBranch: mres.KVBytesPerBranch,
+			Forks:            mres.Forks,
+			CowCopies:        mres.CowCopies,
+			CowCopyBytes:     mres.CowCopyBytes,
+			ReqPerSec:        tres.ReqPerSec,
+			P50TTFTMs:        float64(tres.P50TTFT) / float64(time.Millisecond),
+			P99TTFTMs:        float64(tres.P99TTFT) / float64(time.Millisecond),
+			Finished:         tres.Finished,
+			Failed:           mres.Failed + tres.Failed,
+		}
+		fb.Modes = append(fb.Modes, row)
+		fmt.Printf("%-6s %14d %14.0f %8d %10d %8.1f %10s %10s %9d\n",
+			mode, row.PeakKVBytes, row.KVBytesPerBranch, row.Forks, row.CowCopyBytes,
+			row.ReqPerSec, tres.P50TTFT.Round(time.Millisecond), tres.P99TTFT.Round(time.Millisecond),
+			row.Finished)
+		if row.Failed > 0 {
+			fmt.Printf("  (%d requests failed)\n", row.Failed)
+		}
+	}
+	if fb.Modes[0].KVBytesPerBranch > 0 {
+		fb.SavingsX = fb.Modes[1].KVBytesPerBranch / fb.Modes[0].KVBytesPerBranch
+	}
+	fmt.Printf("KV bytes per branch: fork holds %.2fx less than naive at the memory peak\n", fb.SavingsX)
+	if benchJSON == "" {
+		return nil
+	}
+	sb := loadServingBench(benchJSON)
+	sb.Fanout = &fb
+	buf, err := json.MarshalIndent(sb, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (fanout section)\n", benchJSON)
 	return nil
 }

@@ -136,6 +136,7 @@ func (m *Jenga) pageAddRef(g *group, id arena.SmallPageID) {
 		check(false, "addRef on non-used page %d", id)
 	}
 	pg.ref++
+	g.extraRefs++
 }
 
 // pageRelease drops one reference; at zero the page becomes cached
@@ -150,6 +151,9 @@ func (m *Jenga) pageRelease(g *group, id arena.SmallPageID, cache bool, exitTS T
 	}
 	pg.ref--
 	if pg.ref > 0 {
+		// Still shared: another holder keeps the page used; only the
+		// shared-bytes accounting shrinks.
+		g.extraRefs--
 		return
 	}
 	L := m.largeOf(g, id)

@@ -135,6 +135,13 @@ type Usage struct {
 	// Free is unallocated bytes (plus the unusable remainder beyond the
 	// last whole large page).
 	Free int64
+	// SharedBytes is the KV volume saved by block sharing: every page
+	// referenced by r holders contributes (r-1) × its size — bytes that
+	// forked branches (and claimed prefixes) would each hold privately
+	// without refcounted sharing. Shared pages are counted once in
+	// Used, so SharedBytes is informational and not part of the
+	// conservation sum.
+	SharedBytes int64
 	// HostUsed and HostCapacity are the host-memory KV tier's byte
 	// accounting (both 0 for managers without a tier).
 	HostUsed, HostCapacity int64

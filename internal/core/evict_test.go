@@ -122,13 +122,20 @@ func TestBalancedEvictionAcrossGroups(t *testing.T) {
 	m.Release(b, true)
 	audit(t, m)
 
+	// buildView reuses per-group scratch, so snapshot Present before
+	// building another view of the same group.
+	present := func(g *group, tokens []Token) []bool {
+		v := m.buildView(g, tokens, false)
+		return append([]bool(nil), v.Present...)
+	}
+
 	// Full-attention group: pure LRU with the §5.1 tie break — all of
 	// request a's pages evict before any of request b's.
 	full := m.groups[m.byName["full"]]
-	va := m.buildView(full, a.Tokens, false)
-	vb := m.buildView(full, b.Tokens, false)
+	va := present(full, a.Tokens)
+	vb := present(full, b.Tokens)
 	aPages := 0
-	for _, ok := range va.Present {
+	for _, ok := range va {
 		if ok {
 			aPages++
 		}
@@ -138,15 +145,15 @@ func TestBalancedEvictionAcrossGroups(t *testing.T) {
 			t.Fatalf("full: expected evictable page %d", i)
 		}
 	}
-	va = m.buildView(full, a.Tokens, false)
-	vb2 := m.buildView(full, b.Tokens, false)
-	for k, ok := range va.Present {
+	va = present(full, a.Tokens)
+	vb2 := present(full, b.Tokens)
+	for k, ok := range va {
 		if ok {
 			t.Errorf("full: request-a block %d survived balanced eviction", k)
 		}
 	}
-	for k := range vb2.Present {
-		if vb.Present[k] != vb2.Present[k] {
+	for k := range vb2 {
+		if vb[k] != vb2[k] {
 			t.Errorf("full: request-b block %d was evicted before all of request a", k)
 		}
 	}
@@ -162,31 +169,31 @@ func TestBalancedEvictionAcrossGroups(t *testing.T) {
 			t.Fatalf("window: expected evictable page %d", i)
 		}
 	}
-	wa := m.buildView(win, a.Tokens, false)
-	wb := m.buildView(win, b.Tokens, false)
+	wa := present(win, a.Tokens)
+	wb := present(win, b.Tokens)
 	for k := 0; k < 2; k++ {
-		if wa.Present[k] || wb.Present[k] {
+		if wa[k] || wb[k] {
 			t.Errorf("window: expired block %d should be evicted first (a=%v b=%v)",
-				k, wa.Present[k], wb.Present[k])
+				k, wa[k], wb[k])
 		}
 	}
 	for k := 2; k < 8; k++ {
-		if !wa.Present[k] || !wb.Present[k] {
+		if !wa[k] || !wb[k] {
 			t.Errorf("window: live block %d must outlive every expired page (a=%v b=%v)",
-				k, wa.Present[k], wb.Present[k])
+				k, wa[k], wb[k])
 		}
 	}
 	// Within the live class, LRU: request a's pages evict before b's.
 	for i := 0; i < 6; i++ {
 		m.evictOneSmall(win)
 	}
-	wa = m.buildView(win, a.Tokens, false)
-	wb = m.buildView(win, b.Tokens, false)
+	wa = present(win, a.Tokens)
+	wb = present(win, b.Tokens)
 	for k := 2; k < 8; k++ {
-		if wa.Present[k] {
+		if wa[k] {
 			t.Errorf("window: request-a live block %d should evict before b's", k)
 		}
-		if !wb.Present[k] {
+		if !wb[k] {
 			t.Errorf("window: request-b live block %d evicted too early", k)
 		}
 	}

@@ -43,6 +43,24 @@ func blockHashes(tokens []Token, blockTokens int) []uint64 {
 	return out
 }
 
+// blockHashesInto is blockHashes appending into a caller-provided
+// slice (pass dst[:0] to reuse its capacity) — the warm-Lookup path
+// rebuilds per-group hash lists every call and reuses the scratch.
+func blockHashesInto(dst []uint64, tokens []Token, blockTokens int) []uint64 {
+	if blockTokens <= 0 {
+		return dst
+	}
+	n := len(tokens) / blockTokens
+	h := blockHashSeed
+	for k := 0; k < n; k++ {
+		for i := k * blockTokens; i < (k+1)*blockTokens; i++ {
+			h = hashChain(h, tokens[i])
+		}
+		dst = append(dst, h)
+	}
+	return dst
+}
+
 // prefixHash returns the chained hash over the first n projected
 // tokens; used to identify Mamba state checkpoints, which snapshot the
 // whole prefix at one position.
@@ -86,6 +104,18 @@ func project(tokens []Token, storesImage, storesText bool) ([]Token, []int) {
 		}
 	}
 	return proj, idx
+}
+
+// projectInto appends the projected subsequence to dst (pass dst[:0]
+// to reuse capacity). Callers that need the index mapping use project;
+// the Lookup path only needs the tokens and reuses per-group scratch.
+func projectInto(dst []Token, tokens []Token, storesImage, storesText bool) []Token {
+	for _, t := range tokens {
+		if (t.Image && storesImage) || (!t.Image && storesText) {
+			dst = append(dst, t)
+		}
+	}
+	return dst
 }
 
 // projectedLen returns how many of the first p full-sequence tokens a

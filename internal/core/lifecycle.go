@@ -176,11 +176,7 @@ func (m *Jenga) lookupPrefix(seq *Sequence, useHost bool) int {
 	if maxP <= 0 {
 		return 0
 	}
-	type gview struct {
-		g    *group
-		view *GroupSeqView
-	}
-	views := make([]gview, 0, len(m.groups))
+	views := m.lkViews[:0]
 	anyPresent := false
 	for _, g := range m.groups {
 		if g.isVision() || !g.appliesTo(seq) {
@@ -199,8 +195,9 @@ func (m *Jenga) lookupPrefix(seq *Sequence, useHost bool) int {
 			anyPresent = anyPresent || len(g.index) > 0 ||
 				(useHost && m.host.groupSize(g.spec.Name) > 0)
 		}
-		views = append(views, gview{g, v})
+		views = append(views, lookupView{g, v})
 	}
+	m.lkViews = views
 	if !anyPresent {
 		return 0
 	}
@@ -221,14 +218,34 @@ candidates:
 	return 0
 }
 
+// lookupView pairs a group with its Lookup view; lookupPrefix reuses
+// the manager-level slice of them across calls.
+type lookupView struct {
+	g    *group
+	view *GroupSeqView
+}
+
 // buildView constructs the Lookup view of one group. With useHost,
-// host-tier-resident blocks count as present.
+// host-tier-resident blocks count as present. The view is built into
+// per-group scratch (g.lkView and friends): it is rebuilt in full on
+// every call and nothing returned from Lookup outlives the call, so
+// the warm-lookup path allocates nothing.
 func (m *Jenga) buildView(g *group, tokens []Token, useHost bool) *GroupSeqView {
 	storesImg := g.spec.StoresToken(true)
 	storesTxt := g.spec.StoresToken(false)
-	proj, _ := project(tokens, storesImg, storesTxt)
-	v := &GroupSeqView{BlockTokens: g.tpp}
-	v.ProjCount = make([]int, len(tokens)+1)
+	proj := tokens
+	if !(storesImg && storesTxt) {
+		g.lkProj = projectInto(g.lkProj[:0], tokens, storesImg, storesTxt)
+		proj = g.lkProj
+	}
+	v := &g.lkView
+	v.BlockTokens = g.tpp
+	v.CheckpointAt = nil
+	if cap(v.ProjCount) >= len(tokens)+1 {
+		v.ProjCount = v.ProjCount[:len(tokens)+1]
+	} else {
+		v.ProjCount = make([]int, len(tokens)+1)
+	}
 	n := 0
 	for i, t := range tokens {
 		v.ProjCount[i] = n
@@ -262,8 +279,16 @@ func (m *Jenga) buildView(g *group, tokens []Token, useHost bool) *GroupSeqView 
 		v.buildRuns()
 		return v
 	}
-	hashes := blockHashes(proj, g.tpp)
-	v.Present = make([]bool, len(hashes))
+	g.lkHashes = blockHashesInto(g.lkHashes[:0], proj, g.tpp)
+	hashes := g.lkHashes
+	if cap(v.Present) >= len(hashes) {
+		v.Present = v.Present[:len(hashes)]
+		for k := range v.Present {
+			v.Present[k] = false
+		}
+	} else {
+		v.Present = make([]bool, len(hashes))
+	}
 	for k, h := range hashes {
 		if id, ok := g.index[h]; ok {
 			pg := &g.pages[id]
@@ -317,8 +342,27 @@ func (m *Jenga) Reserve(seq *Sequence, upTo int, now Tick) error {
 		for len(rg.pages) <= lastBlock {
 			rg.pages = append(rg.pages, pageRef{})
 		}
-		for b := rg.projReserved / g.tpp; b <= lastBlock; b++ {
+		// Copy-on-write boundary: the scan starts at the committed tail
+		// block, not the reserved one, because every block from there to
+		// lastBlock will receive this reservation's commits — a block
+		// still shared with a fork sibling (ref > 1) must be privatized
+		// before those writes land. Blocks between the committed and
+		// reserved positions are always held, so with no sharing the
+		// extra iterations fall through the held-page skip and behavior
+		// is identical to scanning from projReserved.
+		b0 := rg.projCommitted / g.tpp
+		if rb := rg.projReserved / g.tpp; rb < b0 {
+			b0 = rb
+		}
+		for b := b0; b <= lastBlock; b++ {
 			if rg.pages[b].held {
+				if pg := &g.pages[rg.pages[b].id]; pg.ref > 1 {
+					id, err := m.cowPage(g, rg.pages[b].id, r.id)
+					if err != nil {
+						return err
+					}
+					rg.pages[b] = pageRef{id: id, held: true}
+				}
 				continue // partial block page from a previous chunk
 			}
 			id, err := m.allocSmall(g, r.id)
@@ -777,6 +821,15 @@ func (m *Jenga) EncodeImages(seq *Sequence, uptoFull int, now Tick) error {
 			}
 			if !rg.visPages[b].held {
 				id, err := m.allocSmall(g, r.id)
+				if err != nil {
+					rg.visCursor = fi
+					return err
+				}
+				rg.visPages[b] = pageRef{id: id, held: true}
+			} else if pg := &g.pages[rg.visPages[b].id]; pg.ref > 1 {
+				// Copy-on-write: the partial embedding block is shared
+				// with a fork sibling; privatize before writing into it.
+				id, err := m.cowPage(g, rg.visPages[b].id, r.id)
 				if err != nil {
 					rg.visCursor = fi
 					return err

@@ -55,6 +55,12 @@ type Stats struct {
 	// RestoredTokens counts prefix tokens served from the host tier
 	// instead of being recomputed.
 	RestoredTokens int64
+	// Forks counts Fork calls; CowCopies and CowCopyBytes count the
+	// copy-on-write page privatizations (and their copied KV volume)
+	// that divergent writes on shared pages triggered.
+	Forks        int64
+	CowCopies    int64
+	CowCopyBytes int64
 }
 
 // pageStatus is the three-state life cycle of §5.4.
@@ -124,6 +130,18 @@ type group struct {
 	nCached     int
 	filledSlots int64
 	deadSlots   int64
+	// extraRefs counts references beyond the first across all used
+	// pages (Σ max(ref-1, 0)); extraRefs × smallBytes is the group's
+	// contribution to Usage.SharedBytes.
+	extraRefs int64
+
+	// Lookup scratch, reused across calls: the warm-lookup path
+	// rebuilds these fully on every call and nothing returned from
+	// Lookup outlives it, so reuse is safe and makes the warm lookup
+	// allocation-free.
+	lkView   GroupSeqView
+	lkProj   []Token
+	lkHashes []uint64
 }
 
 func (g *group) isVision() bool { return g.spec.Kind == model.VisionEmbedding }
@@ -164,6 +182,13 @@ type Jenga struct {
 	host       *hostTier
 	pendingH2D int64
 	pendingD2H int64
+	// pendingCopy is the device-to-device copy volume copy-on-write
+	// privatizations accumulated since the last DrainCopyBytes — the
+	// engine charges it to the step's HBM copy term.
+	pendingCopy int64
+
+	// lkViews is the Lookup scratch for the per-group view list.
+	lkViews []lookupView
 }
 
 var _ Manager = (*Jenga)(nil)
@@ -345,6 +370,7 @@ func (m *Jenga) UsageTotals() Usage {
 		u.Used += gu.Used
 		u.Cached += gu.Cached
 		u.Wasted += gu.Wasted
+		u.SharedBytes += g.extraRefs * int64(g.smallBytes)
 		allocatedLarge += int64(g.ownedLarge)
 	}
 	u.Free = m.Capacity() - allocatedLarge*int64(m.geo.LargePageBytes)

@@ -124,7 +124,7 @@ func audit(t *testing.T, m *Jenga) {
 	}
 	for _, g := range m.groups {
 		var nUsed, nCached, owned int
-		var filled, dead int64
+		var filled, dead, extra int64
 		for L := range m.largeOwner {
 			if m.largeOwner[L] != int32(g.idx) {
 				continue
@@ -138,6 +138,7 @@ func audit(t *testing.T, m *Jenga) {
 					nUsed++
 					filled += int64(pg.filled)
 					dead += int64(pg.dead)
+					extra += int64(pg.ref - 1)
 					if pg.ref <= 0 {
 						t.Fatalf("group %s: used page %d with ref %d", g.spec.Name, first+arena.SmallPageID(i), pg.ref)
 					}
@@ -163,6 +164,9 @@ func audit(t *testing.T, m *Jenga) {
 		if filled != g.filledSlots || dead != g.deadSlots {
 			t.Fatalf("group %s: slots filled/dead = %d/%d, recount %d/%d",
 				g.spec.Name, g.filledSlots, g.deadSlots, filled, dead)
+		}
+		if extra != g.extraRefs {
+			t.Fatalf("group %s: extraRefs = %d, recount %d", g.spec.Name, g.extraRefs, extra)
 		}
 		nFree := 0
 		for p := range g.pages {

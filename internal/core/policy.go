@@ -66,9 +66,14 @@ type GroupSeqView struct {
 	CheckpointAt func(projPos int) bool
 }
 
-// buildRuns fills presentRun from Present.
+// buildRuns fills presentRun from Present, reusing its capacity (views
+// built into per-group Lookup scratch rebuild it on every call).
 func (v *GroupSeqView) buildRuns() {
-	v.presentRun = make([]int, len(v.Present))
+	if cap(v.presentRun) >= len(v.Present) {
+		v.presentRun = v.presentRun[:len(v.Present)]
+	} else {
+		v.presentRun = make([]int, len(v.Present))
+	}
 	run := 0
 	for k, ok := range v.Present {
 		if ok {

@@ -288,9 +288,12 @@ type run struct {
 	// restore share across (re)admissions.
 	restoredTokens int
 	restoredBytes  int64
-	firstToken     time.Duration
-	finish         time.Duration
-	started        bool
+	// forkDone marks that the run's Fanout expansion already fired
+	// (set on forked children at creation so they never re-fork).
+	forkDone   bool
+	firstToken time.Duration
+	finish     time.Duration
+	started    bool
 }
 
 // advanceCtx folds tokens [from, to) into the run's committed text and
@@ -374,6 +377,12 @@ type Engine struct {
 	// deltas even on a warm manager.
 	tier     core.TierManager
 	tierBase core.TierStats
+
+	// forker is the manager's copy-on-write forking capability (nil
+	// for managers without one — fan-out then degrades to running the
+	// root single-stream); forkSeq numbers engine-generated branch IDs.
+	forker  core.Forker
+	forkSeq int64
 }
 
 // New validates the config and builds an engine.
@@ -406,6 +415,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.admPreempt = sched.CanAdmissionPreempt(e.scheduler)
 	e.tier, _ = cfg.Manager.(core.TierManager)
+	e.forker, _ = cfg.Manager.(core.Forker)
 	// 2 FLOPs per active parameter per token, compute-bound: the same
 	// first-order term the cost model charges per scheduled token.
 	if f := cfg.Device.FLOPS; f > 0 {
@@ -458,6 +468,7 @@ func (e *Engine) reset() {
 	}
 	e.encoderRuns = 0
 	e.globalStalls = 0
+	e.forkSeq = 0
 	e.kvUtilSum = 0
 	e.kvUtilN = 0
 	e.kvUtilPeak = 0
@@ -683,6 +694,11 @@ func (e *Engine) runStep() bool {
 		h2d, d2h := e.tier.DrainTransfers()
 		work.SwapBytes += h2d + d2h
 	}
+	// Copy-on-write privatizations triggered by this step's
+	// reservations are device-to-device copies on the HBM term.
+	if e.forker != nil {
+		work.CopyBytes += e.forker.DrainCopyBytes()
+	}
 	e.clock += e.cost.StepTime(work)
 	e.decodeTimeline = append(e.decodeTimeline, decodeBatch)
 	for _, r := range committers {
@@ -723,7 +739,17 @@ func (e *Engine) runStep() bool {
 			}
 			r.decodesDone++
 			e.totalGenerated++
-			e.emit(EventToken, r)
+			if r.firstToken == 0 {
+				// Only forked branches reach decode without a first
+				// token: this is the branch's TTFT instant.
+				r.firstToken = e.clock
+				e.emit(EventFirstToken, r)
+			} else {
+				e.emit(EventToken, r)
+			}
+			if r.req.Fanout > 1 && !r.forkDone && r.decodesDone >= r.req.ForkAfter {
+				e.autoFork(r)
+			}
 			if r.decodesDone >= r.req.OutputLen-1 {
 				e.finishRun(r)
 			}

@@ -108,6 +108,11 @@ type StepWork struct {
 	// (tiered-offload spills plus restores, H2D and D2H combined);
 	// it rides the PCIe link, not HBM.
 	SwapBytes int64
+	// CopyBytes is the device-to-device KV copy volume of the step:
+	// copy-on-write privatizations when forked branches diverge. It
+	// rides HBM (one read + one write per byte is folded into the
+	// effective bandwidth figure).
+	CopyBytes int64
 	// KernelEfficiency scales compute/bandwidth terms; 1.0 is the
 	// native kernel. The GCD-page ablation uses < 1 (§4.4: GCD paging
 	// forces non-contiguous KV layouts that efficient kernels reject).
@@ -128,7 +133,7 @@ func (c *CostModel) StepTime(w StepWork) time.Duration {
 		eff = 1
 	}
 	tokens := float64(w.PrefillTokens + w.DecodeSeqs)
-	if tokens == 0 && w.EncoderTokens == 0 && w.SwapBytes == 0 {
+	if tokens == 0 && w.EncoderTokens == 0 && w.SwapBytes == 0 && w.CopyBytes == 0 {
 		return 0
 	}
 	var sec float64
@@ -149,8 +154,11 @@ func (c *CostModel) StepTime(w StepWork) time.Duration {
 		sec += encoderWorkFactor * 2 * float64(c.Spec.Vision.Params) * float64(w.EncoderTokens) / c.Dev.FLOPS
 	}
 	sec /= eff
-	// PCIe transfers are DMA, not kernel work: they do not scale with
-	// kernel efficiency.
+	// DMA transfers are not kernel work: neither PCIe swaps nor
+	// device-to-device CoW copies scale with kernel efficiency.
+	if w.CopyBytes > 0 {
+		sec += float64(w.CopyBytes) / c.Dev.MemBW
+	}
 	return c.Dev.StepOverhead + c.Dev.PCIeTime(w.SwapBytes) + time.Duration(sec*float64(time.Second))
 }
 

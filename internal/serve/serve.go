@@ -147,6 +147,7 @@ type Stream struct {
 	arrival     time.Duration
 	deadline    time.Duration
 	priority    int
+	outputLen   int
 	firstToken  time.Duration
 	generated   int
 	preemptions int
@@ -223,6 +224,66 @@ func (st *Stream) CancelAfter(n int) {
 		s.pendingCancels = append(s.pendingCancels, st.id)
 	}
 	s.cond.Broadcast()
+}
+
+// Fork splits the stream into n additional branches that share all KV
+// computed so far copy-on-write and decode independently from this
+// point — parallel sampling, beam-search expansion or agentic fan-out
+// over one prefix without recomputing or duplicating it. Each returned
+// Stream is a first-class handle: it emits its own events, counts in
+// Report, and can be cancelled or forked again on its own. The parent
+// keeps streaming unaffected.
+//
+// The stream must be actively decoding (past its first token) on a
+// manager with the core.Forker capability. Fork is best effort: on a
+// mid-fan-out failure the branches created so far are returned
+// alongside the error and remain live.
+func (st *Stream) Fork(n int) ([]*Stream, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("serve: fork: branch count %d", n)
+	}
+	s := st.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case <-st.done:
+		return nil, fmt.Errorf("serve: fork: stream %d already terminated", st.id)
+	default:
+	}
+	buf := st.outputLen + 8
+	if buf > maxEventBuffer {
+		buf = maxEventBuffer
+	}
+	streams := make([]*Stream, 0, n)
+	for i := 0; i < n; i++ {
+		id := s.nextID
+		s.nextID++
+		cst := &Stream{
+			id:        id,
+			srv:       s,
+			events:    make(chan engine.Event, buf),
+			done:      make(chan struct{}),
+			arrival:   s.eng.Clock(),
+			deadline:  st.deadline,
+			priority:  st.priority,
+			outputLen: st.outputLen,
+		}
+		// Register before forking: the engine emits the child's queued
+		// event synchronously from Fork.
+		s.streams[id] = cst
+		if err := s.eng.Fork(st.id, []int64{id}); err != nil {
+			delete(s.streams, id)
+			return streams, err
+		}
+		s.submitted++
+		s.submittedByPrio[cst.priority]++
+		streams = append(streams, cst)
+	}
+	s.cond.Signal()
+	return streams, nil
 }
 
 // Wait blocks until the stream terminates or the context expires.
@@ -329,13 +390,14 @@ func (s *Server) Submit(ctx context.Context, req workload.Request) (*Stream, err
 		buf = maxEventBuffer
 	}
 	st := &Stream{
-		id:       req.ID,
-		srv:      s,
-		events:   make(chan engine.Event, buf),
-		done:     make(chan struct{}),
-		arrival:  req.Arrival,
-		deadline: req.Deadline,
-		priority: req.Priority,
+		id:        req.ID,
+		srv:       s,
+		events:    make(chan engine.Event, buf),
+		done:      make(chan struct{}),
+		arrival:   req.Arrival,
+		deadline:  req.Deadline,
+		priority:  req.Priority,
+		outputLen: req.OutputLen,
 	}
 	s.streams[req.ID] = st
 	s.submitted++

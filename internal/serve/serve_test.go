@@ -497,3 +497,87 @@ func TestReportLivePriorityClass(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStreamFork forks a live stream into branches mid-decode and
+// checks each branch is a first-class stream: its own events (first
+// token with no prefill), its own deterministic CancelAfter bound, its
+// own report row — and that the shared KV is fully released at drain.
+func TestStreamFork(t *testing.T) {
+	s := testServer(t, 64<<20, true, Config{})
+	rootReq := testReqs(51, 1, 200, 100_000)[0]
+	root, err := s.Submit(context.Background(), rootReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ev := range root.Events() {
+		if (ev.Type == engine.EventFirstToken || ev.Type == engine.EventToken) &&
+			ev.Generated >= 8 {
+			break
+		}
+	}
+	s.Pause() // step boundary: the parent is quiescent and mid-decode
+	kids, err := root.Fork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 {
+		t.Fatalf("forked %d branches, want 2", len(kids))
+	}
+	if u := s.Snapshot().Usage; u.SharedBytes <= 0 {
+		t.Errorf("no shared KV right after fork: %+v", u)
+	}
+	root.CancelAfter(40)
+	for _, k := range kids {
+		k.CancelAfter(60)
+	}
+	s.Resume()
+	for _, k := range kids {
+		sawFirst := false
+		for ev := range k.Events() {
+			if ev.Type == engine.EventFirstToken {
+				sawFirst = true
+			}
+		}
+		res, ok := k.Result()
+		if !ok || res.State != StateCancelled || res.Generated != 60 {
+			t.Fatalf("branch %d: %+v ok=%v, want cancelled at exactly 60", k.ID(), res, ok)
+		}
+		if !sawFirst || res.TTFT <= 0 {
+			t.Errorf("branch %d: first token missing (saw=%v TTFT=%v)", k.ID(), sawFirst, res.TTFT)
+		}
+	}
+	if res, err := root.Wait(context.Background()); err != nil || res.State != StateCancelled {
+		t.Fatalf("root: %+v err %v, want cancelled", res, err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.Submitted != 3 || rep.Cancelled != 3 {
+		t.Fatalf("report %+v, want 3 submitted, 3 cancelled", rep)
+	}
+	if u := s.Snapshot().Usage; u.Used != 0 || u.SharedBytes != 0 {
+		t.Errorf("fork leaked KV: %+v", u)
+	}
+}
+
+// TestStreamForkQueued: forking a stream that has not started decoding
+// is an error, and the server stays usable.
+func TestStreamForkQueued(t *testing.T) {
+	s := testServer(t, 64<<20, true, Config{})
+	s.Pause()
+	st, err := s.Submit(context.Background(), testReqs(52, 1, 100, 4)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Fork(1); err == nil {
+		t.Error("fork of a queued stream should fail")
+	}
+	s.Resume()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if rep := s.Report(); rep.Finished != 1 {
+		t.Fatalf("report %+v, want the root finished despite the failed fork", rep)
+	}
+}

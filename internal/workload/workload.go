@@ -41,6 +41,19 @@ type Request struct {
 	// first and preempted last. The engine's default FCFS scheduler
 	// ignores it; the default 0 everywhere is equivalent either way.
 	Priority int
+	// Fanout, when > 1, turns the request into a fan-out root: once
+	// ForkAfter output tokens exist, the engine forks it into Fanout
+	// total branches (this request plus Fanout−1 children) that share
+	// the KV computed so far copy-on-write and decode independently to
+	// their own OutputLen. Parallel sampling, beam-search expansion and
+	// agentic fan-out all reduce to this shape. Requires a manager with
+	// the core.Forker capability; otherwise the request runs single-
+	// stream. 0 and 1 mean no fan-out.
+	Fanout int
+	// ForkAfter is the divergence point of a Fanout request: the number
+	// of output tokens shared by all branches before they fork. 0 forks
+	// at the first output token.
+	ForkAfter int
 }
 
 // PromptImages counts image tokens in the prompt.
@@ -244,6 +257,50 @@ func (g *Gen) PrefixGroups(groups, perGroup, prefixLen, suffixLen int) []Request
 		}
 	}
 	return reqs
+}
+
+// FanOut generates fan-out roots (parallel sampling, best-of-n, agentic
+// tree expansion): n requests, each with a unique prompt of promptLen
+// tokens that forks into branch streams once forkAfter output tokens
+// exist, every branch decoding to outLen total output tokens. Each root
+// is its own Group, so schedulers see a fan-out's branches as siblings.
+func (g *Gen) FanOut(n, promptLen, forkAfter, outLen, branch int) []Request {
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		id := g.id()
+		reqs = append(reqs, Request{
+			ID: id, Group: id,
+			Prompt:    textTokens(id*399989, 0, promptLen),
+			OutputLen: outLen,
+			Fanout:    branch, ForkAfter: forkAfter,
+		})
+	}
+	return reqs
+}
+
+// NaiveFanOut lowers fan-out roots into the independent-request stream
+// an engine without forking must serve to produce the same branches:
+// Fanout copies of each root's prompt with the same arrival, group and
+// output budget, no fork. Prefix caching can still share the prompt
+// blocks across copies, but every token the branches would have shared
+// from the generated region is computed — and held — per copy. Requests
+// without fan-out pass through unchanged; clone IDs start at 1<<40.
+func NaiveFanOut(reqs []Request) []Request {
+	out := make([]Request, 0, len(reqs))
+	nextID := int64(1) << 40
+	for i := range reqs {
+		r := reqs[i]
+		n := r.Fanout
+		r.Fanout, r.ForkAfter = 0, 0
+		out = append(out, r)
+		for b := 1; b < n; b++ {
+			c := r
+			c.ID = nextID
+			nextID++
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // SplitByGroup partitions a stream by its Group labels, preserving

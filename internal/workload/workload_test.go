@@ -227,3 +227,70 @@ func TestMergeOrdersByArrival(t *testing.T) {
 		}
 	}
 }
+
+func TestFanOutShape(t *testing.T) {
+	reqs := NewGen(9).FanOut(4, 128, 32, 96, 8)
+	if len(reqs) != 4 {
+		t.Fatalf("roots = %d, want 4", len(reqs))
+	}
+	seen := map[int64]bool{}
+	for i, r := range reqs {
+		if len(r.Prompt) != 128 || r.OutputLen != 96 {
+			t.Errorf("root %d: prompt %d out %d", i, len(r.Prompt), r.OutputLen)
+		}
+		if r.Fanout != 8 || r.ForkAfter != 32 {
+			t.Errorf("root %d: fanout %d forkAfter %d", i, r.Fanout, r.ForkAfter)
+		}
+		if r.Group != r.ID {
+			t.Errorf("root %d: group %d != id %d", i, r.Group, r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	// Distinct roots have distinct prompts.
+	if reqs[0].Prompt[0] == reqs[1].Prompt[0] && reqs[0].Prompt[1] == reqs[1].Prompt[1] &&
+		reqs[0].Prompt[2] == reqs[1].Prompt[2] {
+		t.Error("roots should not share prompt content")
+	}
+}
+
+func TestNaiveFanOutExpansion(t *testing.T) {
+	gen := NewGen(10)
+	reqs := gen.FanOut(3, 64, 16, 48, 4)
+	gen.PoissonArrivals(reqs, 5)
+	plain := gen.ShareGPT(1)
+	reqs = append(reqs, plain...)
+
+	out := NaiveFanOut(reqs)
+	if want := 3*4 + 1; len(out) != want {
+		t.Fatalf("expanded to %d requests, want %d", len(out), want)
+	}
+	seen := map[int64]bool{}
+	for _, r := range out {
+		if r.Fanout != 0 || r.ForkAfter != 0 {
+			t.Errorf("request %d still carries fan-out fields", r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	// Clones mirror their root's prompt, arrival and group.
+	root, clone := out[0], out[1]
+	if clone.Group != root.Group || clone.Arrival != root.Arrival ||
+		clone.OutputLen != root.OutputLen || len(clone.Prompt) != len(root.Prompt) {
+		t.Errorf("clone diverges from root: %+v vs %+v", clone, root)
+	}
+	for i := range root.Prompt {
+		if clone.Prompt[i] != root.Prompt[i] {
+			t.Fatalf("clone prompt differs at %d", i)
+		}
+	}
+	// The plain request passes through untouched.
+	last := out[len(out)-1]
+	if last.ID != plain[0].ID || last.Fanout != 0 {
+		t.Errorf("plain request not passed through: %+v", last)
+	}
+}

@@ -19,7 +19,11 @@
 //     returns a per-request Stream of token/finish/preempt events,
 //     contexts cancel mid-generation (releasing all KV), a bounded
 //     queue applies backpressure, and pluggable AdmissionPolicy sheds
-//     by KV demand or SLO estimates.
+//     by KV demand or SLO estimates. Stream.Fork (and Engine.Fork, and
+//     Request.Fanout for workload-declared fan-out) clones a decoding
+//     request into branches that share all KV computed so far
+//     copy-on-write — parallel sampling, beam-search expansion and
+//     agentic fan-out without duplicating the prefix (see Forker).
 //   - NewFCFS/NewPriority/NewSJF/NewFairShare build scheduling
 //     policies for the engine's pluggable scheduling layer (admission
 //     order, preemption victim selection, prefill/decode budgeting);
@@ -145,6 +149,12 @@ type (
 	// TierStats snapshots the host tier's counters (spills, restores,
 	// transfer bytes, restored tokens, budget evictions).
 	TierStats = core.TierStats
+	// Forker is the optional Manager capability behind stream forking:
+	// Fork clones a committed sequence into a child sharing every
+	// block copy-on-write. JengaManager implements it; Engine.Fork,
+	// Stream.Fork and Request.Fanout all require it (and degrade to
+	// single-stream serving without it).
+	Forker = core.Forker
 	// BaselineConfig configures NewPagedBaseline.
 	BaselineConfig = baseline.Config
 	// PagedBaseline is the vLLM-style homogeneous manager.
@@ -209,6 +219,8 @@ const (
 )
 
 // ParsePreemptMode converts a flag spelling ("recompute", "swap").
+// ParsePreemptOption is the unified-grammar equivalent with the
+// OptionError shape.
 var ParsePreemptMode = engine.ParsePreemptMode
 
 // NewEngine builds a serving simulation.
@@ -286,7 +298,9 @@ var (
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
 
 // AdmitAll, AdmissionChain and ParseAdmission build admission
-// policies; ParseAdmission converts flag spellings ("kv+slo").
+// policies; ParseAdmission converts flag spellings ("kv+slo") —
+// ParseAdmissionOption is the unified-grammar equivalent with the
+// OptionError shape.
 var (
 	AdmitAll       = engine.AdmitAll
 	AdmissionChain = engine.AdmissionChain
@@ -320,9 +334,11 @@ type (
 // with a deadline-aware tiebreak; NewFairShare serves tenant groups
 // by weighted max-min share. ParseScheduler converts flag spellings
 // ("fcfs", "priority", "sjf", "fairshare", optional ":<frac>" prefill
-// reserve); WithPrefillReserve adds the chunked-prefill budget
-// reserve to any scheduler; CompareSchedule is the shared
-// priority/arrival comparator custom policies can build on.
+// reserve) — ParseSchedulerOption is the unified-grammar equivalent
+// with the OptionError shape; WithPrefillReserve adds the
+// chunked-prefill budget reserve to any scheduler; CompareSchedule is
+// the shared priority/arrival comparator custom policies can build
+// on.
 var (
 	NewFCFS            = sched.NewFCFS
 	NewPriority        = sched.NewPriority
@@ -364,7 +380,9 @@ const (
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 
 // NewRouter builds a built-in router; ParseRouterPolicy converts a
-// flag spelling ("roundrobin", "leastloaded", "affinity").
+// flag spelling ("roundrobin", "leastloaded", "affinity") —
+// ParseRouterOption is the unified-grammar equivalent with the
+// OptionError shape.
 var (
 	NewRouter         = cluster.NewRouter
 	ParseRouterPolicy = cluster.ParsePolicy
@@ -409,12 +427,15 @@ func NewWorkloadGen(seed int64) *WorkloadGen { return workload.NewGen(seed) }
 // AllAtOnce zeroes arrival times (offline batch serving);
 // MergeStreams combines arrival streams in time order; SplitByGroup
 // partitions a stream by its prefix-sharing labels; SetDeadlines
-// assigns a uniform end-to-end SLO budget.
+// assigns a uniform end-to-end SLO budget; NaiveFanOut lowers fan-out
+// requests (Request.Fanout) to independent per-branch requests — the
+// workload an engine without copy-on-write forking must serve.
 var (
 	AllAtOnce    = workload.AllAtOnce
 	MergeStreams = workload.Merge
 	SplitByGroup = workload.SplitByGroup
 	SetDeadlines = workload.SetDeadlines
+	NaiveFanOut  = workload.NaiveFanOut
 )
 
 // Speculative-decoding surface (§6.1, Fig. 19).

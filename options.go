@@ -1,0 +1,170 @@
+package jenga
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"jenga/internal/cluster"
+	"jenga/internal/sched"
+)
+
+// Option parsing: every flag-spelled policy knob — scheduler,
+// admission, preemption, router — goes through one grammar and one
+// error shape here, so command-line surfaces (jengabench, user
+// drivers) get identical spellings and identical diagnostics instead
+// of each internal package's ad-hoc parser. The per-package parsers
+// (sched.ParseScheduler, engine.ParseAdmission, ...) remain for
+// callers programming against the internals; these are the public
+// front door.
+//
+// The shared grammar: a spec is a "+"-separated chain of items, each
+// item a lowercase name with an optional ":<arg>" suffix — "fcfs",
+// "fairshare:0.2", "kv+slo". Which names (and whether chains or args
+// are meaningful) depends on the option kind.
+
+// OptionError is the error every option parser returns: the kind of
+// option, the rejected input, and the accepted spellings.
+type OptionError struct {
+	// Kind names the option ("scheduler", "admission", "preempt",
+	// "router").
+	Kind string
+	// Input is the rejected spelling, verbatim.
+	Input string
+	// Want describes the accepted spellings.
+	Want string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("jenga: bad %s option %q (want %s)", e.Kind, e.Input, e.Want)
+}
+
+// optionItem is one parsed element of the shared name[:arg] grammar.
+type optionItem struct {
+	Name, Arg string
+	HasArg    bool
+}
+
+// splitOption parses the shared grammar: "+"-separated items, each
+// name[:arg], names trimmed and lowercased (args kept verbatim).
+func splitOption(spec string) []optionItem {
+	parts := strings.Split(spec, "+")
+	items := make([]optionItem, 0, len(parts))
+	for _, part := range parts {
+		name, arg, has := strings.Cut(strings.TrimSpace(part), ":")
+		items = append(items, optionItem{Name: strings.ToLower(name), Arg: arg, HasArg: has})
+	}
+	return items
+}
+
+// Accepted spellings per option kind, shared between the parsers and
+// their OptionError diagnostics.
+const (
+	schedulerOptions = "fcfs, priority, sjf or fairshare, optionally with a :<frac> prefill reserve in [0, 1)"
+	admissionOptions = "none, kv, slo or a + chain like kv+slo"
+	preemptOptions   = "recompute or swap"
+	routerOptions    = "roundrobin, leastloaded or affinity"
+)
+
+// ParseSchedulerOption converts a scheduler spelling — "fcfs",
+// "priority", "sjf", "fairshare", optionally with a ":<frac>" chunked-
+// prefill budget reserve ("sjf:0.3"). Empty means FCFS, the default
+// everywhere a Scheduler is accepted.
+func ParseSchedulerOption(spec string) (Scheduler, error) {
+	items := splitOption(spec)
+	if len(items) != 1 {
+		return nil, &OptionError{Kind: "scheduler", Input: spec, Want: schedulerOptions}
+	}
+	it := items[0]
+	var out Scheduler
+	switch it.Name {
+	case "", "fcfs":
+		out = sched.NewFCFS()
+	case "priority":
+		out = sched.NewPriority()
+	case "sjf":
+		out = sched.NewSJF()
+	case "fairshare":
+		out = sched.NewFairShare(nil)
+	default:
+		return nil, &OptionError{Kind: "scheduler", Input: spec, Want: schedulerOptions}
+	}
+	if it.HasArg {
+		frac, err := strconv.ParseFloat(it.Arg, 64)
+		if err != nil || frac < 0 || frac >= 1 {
+			return nil, &OptionError{Kind: "scheduler", Input: spec, Want: schedulerOptions}
+		}
+		out = sched.WithPrefillReserve(out, frac)
+	}
+	return out, nil
+}
+
+// ParseAdmissionOption converts an admission spelling — "none", "kv",
+// "slo", or a "+" chain like "kv+slo" that sheds when any member says
+// shed. sloTTFT parameterizes the slo member's TTFT target. "none"
+// (and empty) return a nil policy: admit everything.
+func ParseAdmissionOption(spec string, sloTTFT time.Duration) (AdmissionPolicy, error) {
+	items := splitOption(spec)
+	if len(items) == 1 && (items[0].Name == "" || items[0].Name == "none") && !items[0].HasArg {
+		return nil, nil
+	}
+	var members []AdmissionPolicy
+	for _, it := range items {
+		if it.HasArg {
+			return nil, &OptionError{Kind: "admission", Input: spec, Want: admissionOptions}
+		}
+		switch it.Name {
+		case "kv":
+			members = append(members, KVAdmission{})
+		case "slo":
+			members = append(members, SLOAdmission{TTFT: sloTTFT})
+		case "none", "":
+			members = append(members, AdmitAll())
+		default:
+			return nil, &OptionError{Kind: "admission", Input: spec, Want: admissionOptions}
+		}
+	}
+	if len(members) == 1 {
+		return members[0], nil
+	}
+	return AdmissionChain(members...), nil
+}
+
+// ParsePreemptOption converts a preemption-mode spelling —
+// "recompute" (empty means recompute, the default) or "swap" (requires
+// a tiered manager, see ManagerConfig.HostTierBytes).
+func ParsePreemptOption(spec string) (PreemptMode, error) {
+	items := splitOption(spec)
+	if len(items) != 1 || items[0].HasArg {
+		return PreemptRecompute, &OptionError{Kind: "preempt", Input: spec, Want: preemptOptions}
+	}
+	switch items[0].Name {
+	case "", "recompute":
+		return PreemptRecompute, nil
+	case "swap":
+		return PreemptSwap, nil
+	default:
+		return PreemptRecompute, &OptionError{Kind: "preempt", Input: spec, Want: preemptOptions}
+	}
+}
+
+// ParseRouterOption converts a cluster-router spelling — "roundrobin"
+// ("rr"), "leastloaded" ("ll") or "affinity" ("prefix"). Empty means
+// prefix affinity, the policy the paper's cluster results use.
+func ParseRouterOption(spec string) (RouterPolicy, error) {
+	items := splitOption(spec)
+	if len(items) != 1 || items[0].HasArg {
+		return 0, &OptionError{Kind: "router", Input: spec, Want: routerOptions}
+	}
+	switch items[0].Name {
+	case "roundrobin", "rr":
+		return cluster.RoundRobin, nil
+	case "leastloaded", "ll":
+		return cluster.LeastLoaded, nil
+	case "", "affinity", "prefix", "prefix-affinity":
+		return cluster.PrefixAffinity, nil
+	default:
+		return 0, &OptionError{Kind: "router", Input: spec, Want: routerOptions}
+	}
+}

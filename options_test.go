@@ -1,0 +1,104 @@
+package jenga_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"jenga"
+)
+
+func TestParseSchedulerOption(t *testing.T) {
+	for _, spec := range []string{"", "fcfs", "priority", "sjf", "fairshare", "FCFS", " sjf ", "fairshare:0.25", "sjf:0"} {
+		s, err := jenga.ParseSchedulerOption(spec)
+		if err != nil || s == nil {
+			t.Errorf("ParseSchedulerOption(%q) = %v, %v", spec, s, err)
+		}
+	}
+	for _, spec := range []string{"lifo", "fcfs+sjf", "sjf:1.5", "sjf:x", "fairshare:-0.1"} {
+		if _, err := jenga.ParseSchedulerOption(spec); err == nil {
+			t.Errorf("ParseSchedulerOption(%q) should fail", spec)
+		}
+	}
+}
+
+func TestParseAdmissionOption(t *testing.T) {
+	for _, spec := range []string{"", "none"} {
+		a, err := jenga.ParseAdmissionOption(spec, time.Second)
+		if err != nil || a != nil {
+			t.Errorf("ParseAdmissionOption(%q) = %v, %v, want nil policy", spec, a, err)
+		}
+	}
+	for _, spec := range []string{"kv", "slo", "kv+slo", "KV + SLO"} {
+		a, err := jenga.ParseAdmissionOption(spec, time.Second)
+		if err != nil || a == nil {
+			t.Errorf("ParseAdmissionOption(%q) = %v, %v", spec, a, err)
+		}
+	}
+	for _, spec := range []string{"latency", "kv+xyz", "kv:3"} {
+		if _, err := jenga.ParseAdmissionOption(spec, time.Second); err == nil {
+			t.Errorf("ParseAdmissionOption(%q) should fail", spec)
+		}
+	}
+}
+
+func TestParsePreemptOption(t *testing.T) {
+	if m, err := jenga.ParsePreemptOption(""); err != nil || m != jenga.PreemptRecompute {
+		t.Errorf("empty = %v, %v", m, err)
+	}
+	if m, err := jenga.ParsePreemptOption("swap"); err != nil || m != jenga.PreemptSwap {
+		t.Errorf("swap = %v, %v", m, err)
+	}
+	if _, err := jenga.ParsePreemptOption("discard"); err == nil {
+		t.Error("discard should fail")
+	}
+}
+
+func TestParseRouterOption(t *testing.T) {
+	cases := map[string]jenga.RouterPolicy{
+		"roundrobin": jenga.RoundRobin, "rr": jenga.RoundRobin,
+		"leastloaded": jenga.LeastLoaded, "ll": jenga.LeastLoaded,
+		"affinity": jenga.PrefixAffinity, "prefix": jenga.PrefixAffinity, "": jenga.PrefixAffinity,
+	}
+	for spec, want := range cases {
+		p, err := jenga.ParseRouterOption(spec)
+		if err != nil || p != want {
+			t.Errorf("ParseRouterOption(%q) = %v, %v, want %v", spec, p, err, want)
+		}
+	}
+	if _, err := jenga.ParseRouterOption("random"); err == nil {
+		t.Error("random should fail")
+	}
+}
+
+// TestOptionErrorShape: every parser rejects through the one error
+// shape with the one message format.
+func TestOptionErrorShape(t *testing.T) {
+	cases := []struct {
+		kind  string
+		parse func(string) error
+	}{
+		{"scheduler", func(s string) error { _, err := jenga.ParseSchedulerOption(s); return err }},
+		{"admission", func(s string) error { _, err := jenga.ParseAdmissionOption(s, time.Second); return err }},
+		{"preempt", func(s string) error { _, err := jenga.ParsePreemptOption(s); return err }},
+		{"router", func(s string) error { _, err := jenga.ParseRouterOption(s); return err }},
+	}
+	for _, c := range cases {
+		err := c.parse("bogus-option")
+		if err == nil {
+			t.Fatalf("%s: bogus spelling accepted", c.kind)
+		}
+		var oe *jenga.OptionError
+		if !errors.As(err, &oe) {
+			t.Fatalf("%s: error is %T, want *OptionError", c.kind, err)
+		}
+		if oe.Kind != c.kind || oe.Input != "bogus-option" || oe.Want == "" {
+			t.Errorf("%s: fields = %+v", c.kind, oe)
+		}
+		want := fmt.Sprintf("jenga: bad %s option %q (want %s)", oe.Kind, oe.Input, oe.Want)
+		if err.Error() != want {
+			t.Errorf("%s: message %q, want %q", c.kind, err.Error(), want)
+		}
+	}
+}
