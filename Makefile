@@ -29,17 +29,24 @@ bench:
 # swap-vs-recompute tier tradeoff (tier hit rate, recomputed tokens,
 # restore p99) is tracked across PRs — plus a fanout section comparing
 # copy-on-write forked branches against naive independent branches
-# (per-branch KV footprint and branch TTFT); BENCH_core.json is the
-# allocator/engine hot-path trajectory (ns/op, allocs/op, sim anchor —
-# the baseline section in the committed file is preserved across
-# runs). The -stream and -fanout runs each rewrite their own section
-# of BENCH_serving.json and preserve the other's.
+# (per-branch KV footprint and branch TTFT) and a fleet section
+# comparing the fleet-wide KV store against local recompute under
+# replica churn and migration against shedding under a mid-stream
+# scale-down; BENCH_core.json is the allocator/engine hot-path
+# trajectory (ns/op, allocs/op, sim anchor — the baseline section in
+# the committed file is preserved across runs). The -stream, -fanout
+# and fleet runs each rewrite their own section of BENCH_serving.json
+# and preserve the others'.
 bench-json:
 	$(GO) run ./cmd/jengabench -stream -replicas 4 -requests 480 -rate 600 \
 		-slo-ttft 250ms -deadline 2s -admission kv+slo -sched all \
 		-preempt all -host-gb 2 -kv-gb 0.25 \
 		-bench-json BENCH_serving.json
 	$(GO) run ./cmd/jengabench -fanout -kv-gb 2 -bench-json BENCH_serving.json
+	$(GO) run ./cmd/jengabench -fleet-store -migrate -replicas 4 -requests 480 \
+		-rate 70 -prefix-len 1024 -slo-ttft 250ms -deadline 2s \
+		-drain-after 3s -host-gb 2 -kv-gb 0.25 \
+		-bench-json BENCH_serving.json
 	$(GO) run ./cmd/jengabench -bench-core -bench-json BENCH_core.json
 
 # Benchmark smoke: every benchmark must still run (one iteration each),
@@ -48,14 +55,16 @@ bench-smoke:
 	$(GO) test -run NONE -bench=. -benchtime=1x .
 
 # Timed fuzz over the core free pool, the host-tier/map-reference
-# differential and the fork/CoW lifecycle (the CI fuzz step): the
-# seeded corpora always run as part of `make test`; this explores
-# beyond them. `go test -fuzz` takes one target per run, so each gets
-# its own budget.
+# differential, the fork/CoW lifecycle and the fleet-directory/
+# map-reference differential (the CI fuzz step): the seeded corpora
+# always run as part of `make test`; this explores beyond them.
+# `go test -fuzz` takes one target per run, so each gets its own
+# budget.
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzFreePool -fuzztime 5s ./internal/core
 	$(GO) test -run NONE -fuzz FuzzHostTier -fuzztime 5s ./internal/core
 	$(GO) test -run NONE -fuzz FuzzForkLifecycle -fuzztime 5s ./internal/core
+	$(GO) test -run NONE -fuzz FuzzFleetDirectory -fuzztime 5s ./internal/fleet
 
 # Static analysis, pinned so local runs and CI agree. `go run pkg@ver`
 # needs module-proxy access; offline environments get the plain-vet

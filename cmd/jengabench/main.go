@@ -78,6 +78,12 @@ func main() {
 		hostGB      = flag.Float64("host-gb", 0, "per-replica host-memory KV tier budget in GiB for swap-mode rows (0 = no tier)")
 		kvGB        = flag.Float64("kv-gb", 0, "per-replica KV budget override in GiB (0 = full device budget); small values make the stream memory-pressured")
 		benchJSON   = flag.String("bench-json", "", "write the stream-mode scorecard to this JSON file (BENCH_serving.json)")
+
+		fleetStore    = flag.Bool("fleet-store", false, "run the fleet-store churn benchmark: cluster-wide KV store vs local recompute on a replica-churn stream (merges the fleet section's churn rows into -bench-json)")
+		migrate       = flag.Bool("migrate", false, "run the live-migration drain benchmark: replica scale-down served by shedding vs recompute-migration vs transfer-migration (merges the fleet section's drain rows into -bench-json)")
+		churnPhases   = flag.Int("churn-phases", 4, "fleet-mode popularity phases: group popularity shifts this many times across the stream")
+		drainAfter    = flag.Duration("drain-after", 250*time.Millisecond, "migration-mode drain instant: the tail replica evacuates at the first arrival past it")
+		drainReplicas = flag.Int("drain-replicas", 1, "migration-mode replicas to drain (capped at replicas-1)")
 	)
 	flag.Parse()
 	if *benchCore {
@@ -106,6 +112,35 @@ func main() {
 		}
 		if err := runFanout(*modelName, *device, *fanPrompt, *fanAfter, *fanOutLen, *fanBranch,
 			*fanRoots, r, *kvGB, *seed, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleetStore || *migrate {
+		if *exp != "" || *list || *csv != "" || *stream || *fanout || *benchCore {
+			fmt.Fprintln(os.Stderr, "fleet mode (-fleet-store/-migrate) does not combine with -exp, -list, -csv, -stream, -fanout or -bench-core")
+			os.Exit(1)
+		}
+		n := *replicas
+		if n <= 1 {
+			n = 4
+		}
+		r := *rate
+		if r <= 0 {
+			r = 300
+		}
+		hg := *hostGB
+		if hg <= 0 {
+			hg = 2 // the fleet store is the host tiers; an untiered fleet run is vacuous
+		}
+		routerName := *router
+		if routerName == "all" {
+			routerName = "roundrobin"
+		}
+		if err := runFleet(*fleetStore, *migrate, n, routerName, *modelName, *device,
+			*requests, r, *groups, *prefixLen, *churnPhases, *seed,
+			*sloTTFT, *deadline, *drainAfter, *drainReplicas, hg, *kvGB, *benchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -286,10 +321,57 @@ type servingBench struct {
 
 	Policies []servingPolicyBench `json:"policies"`
 
-	// Fanout is the fan-out sharing scorecard (-fanout mode); -stream
-	// and -fanout each rewrite their own section of the file and
-	// preserve the other's.
+	// Fanout is the fan-out sharing scorecard (-fanout mode); Fleet the
+	// fleet-memory scorecard (-fleet-store/-migrate modes). Every mode
+	// rewrites its own section of the file and preserves the others'.
 	Fanout *fanoutBench `json:"fanout,omitempty"`
+	Fleet  *fleetBench  `json:"fleet,omitempty"`
+}
+
+// fleetBench is the fleet section of BENCH_serving.json: the
+// cluster-wide KV store and live-migration scorecard. Churn rows
+// compare the fleet store against local recompute on a replica-churn
+// stream; drain rows compare scale-down served by shedding, by
+// recompute-migration and by transfer-migration at the same offered
+// load. -fleet-store and -migrate each rewrite their own rows and
+// preserve the other's.
+type fleetBench struct {
+	Model     string  `json:"model"`
+	Device    string  `json:"device"`
+	Replicas  int     `json:"replicas"`
+	Requests  int     `json:"requests"`
+	RatePerS  float64 `json:"rate_per_s"`
+	Groups    int     `json:"groups"`
+	PrefixLen int     `json:"prefix_len"`
+	Phases    int     `json:"phases"`
+	HostGB    float64 `json:"host_gb"`
+	KvGB      float64 `json:"kv_gb"`
+
+	DrainAfterMs  float64 `json:"drain_after_ms,omitempty"`
+	DrainReplicas int     `json:"drain_replicas,omitempty"`
+
+	Churn []fleetRow `json:"churn,omitempty"`
+	Drain []fleetRow `json:"drain,omitempty"`
+}
+
+// fleetRow is one fleet-policy variant's scorecard row.
+type fleetRow struct {
+	Mode                 string  `json:"mode"`
+	ReqPerSec            float64 `json:"req_per_s"`
+	Goodput              float64 `json:"goodput_per_s"`
+	SLOAttainment        float64 `json:"slo_attainment"`
+	P50TTFTMs            float64 `json:"p50_ttft_ms"`
+	P99TTFTMs            float64 `json:"p99_ttft_ms"`
+	HitRate              float64 `json:"hit_rate"`
+	PeerHits             int     `json:"peer_hits"`
+	PeerHitRate          float64 `json:"peer_hit_rate"`
+	PeerBytes            int64   `json:"peer_bytes"`
+	ComputedPromptTokens int64   `json:"computed_prompt_tokens"`
+	RecomputedTokens     int64   `json:"recomputed_tokens"`
+	Migrations           int     `json:"migrations"`
+	Finished             int     `json:"finished"`
+	Failed               int     `json:"failed"`
+	Shed                 int     `json:"shed"`
 }
 
 // fanoutBench is the -fanout section of BENCH_serving.json: the same
@@ -504,7 +586,9 @@ func runStream(replicas int, router, modelName, device string, requests int, rat
 	if benchJSON == "" {
 		return nil
 	}
-	out.Fanout = loadServingBench(benchJSON).Fanout
+	prev := loadServingBench(benchJSON)
+	out.Fanout = prev.Fanout
+	out.Fleet = prev.Fleet
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -601,5 +685,152 @@ func runFanout(modelName, device string, prompt, after, outLen, branch, roots in
 		return err
 	}
 	fmt.Printf("wrote %s (fanout section)\n", benchJSON)
+	return nil
+}
+
+// fleetRowOf flattens one cluster result into a scorecard row.
+func fleetRowOf(mode string, res *cluster.Result) fleetRow {
+	return fleetRow{
+		Mode:                 mode,
+		ReqPerSec:            res.ReqPerSec,
+		Goodput:              res.Goodput,
+		SLOAttainment:        res.SLOAttainment,
+		P50TTFTMs:            float64(res.P50TTFT) / float64(time.Millisecond),
+		P99TTFTMs:            float64(res.P99TTFT) / float64(time.Millisecond),
+		HitRate:              res.HitRate,
+		PeerHits:             res.PeerHits,
+		PeerHitRate:          res.PeerHitRate,
+		PeerBytes:            res.PeerBytes,
+		ComputedPromptTokens: res.ComputedPromptTokens,
+		RecomputedTokens:     res.RecomputedTokens,
+		Migrations:           res.Migrations,
+		Finished:             res.Finished,
+		Failed:               res.Failed,
+		Shed:                 res.Shed,
+	}
+}
+
+// runFleet runs the fleet-memory benchmarks on a replica-churn stream:
+// with storeExp, the fleet store against local recompute (identical
+// workload and routing, only the directory and peer-transfer path
+// differ); with migrateExp, a mid-stream scale-down served by
+// shedding, by recompute-migration and by transfer-migration. Each
+// variant gets a fresh cluster — cold caches, empty directory — so the
+// rows compare policies, not warm-up.
+func runFleet(storeExp, migrateExp bool, replicas int, router, modelName, device string,
+	requests int, rate float64, groups, prefixLen, phases int, seed int64,
+	sloTTFT, deadline, drainAfter time.Duration, drainReplicas int,
+	hostGB, kvGB float64, benchJSON string) error {
+	spec, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := parseDevice(device)
+	if err != nil {
+		return err
+	}
+	policy, err := jenga.ParseRouterOption(router)
+	if err != nil {
+		return err
+	}
+	if groups <= 0 {
+		groups = 4*replicas - 1
+	}
+	opt := bench.FleetOptions{
+		Spec: spec, Device: dev, Replicas: replicas,
+		CapacityBytes: int64(kvGB * float64(1<<30)),
+		HostTierBytes: int64(hostGB * float64(1<<30)),
+		Router:        policy,
+		Requests:      requests, Rate: rate,
+		Groups: groups, PrefixLen: prefixLen, SuffixLen: 128, Phases: phases,
+		SLOTTFT: sloTTFT, Deadline: deadline, Seed: seed,
+	}
+	nReqs := opt.RequestCount()
+	fb := fleetBench{
+		Model: spec.Name, Device: dev.Name, Replicas: replicas,
+		Requests: nReqs, RatePerS: rate,
+		Groups: groups, PrefixLen: prefixLen, Phases: phases,
+		HostGB: hostGB, KvGB: kvGB,
+	}
+	fmt.Printf("fleet: %d × %s on %s, %d requests at %.0f req/s over %d churning prefixes of %d tokens (%d phases), router %s, host tier %.1f GiB\n",
+		replicas, spec.Name, dev.Name, nReqs, rate, groups, prefixLen, phases, policy, hostGB)
+	header := func() {
+		fmt.Printf("%-18s %8s %9s %10s %10s %7s %7s %10s %9s %7s %6s %6s\n",
+			"mode", "req/s", "goodput", "p50 TTFT", "p99 TTFT", "hit", "peer", "computed", "recomp", "migr", "shed", "fail")
+	}
+	row := func(mode string, fl cluster.FleetPolicy) (fleetRow, error) {
+		opt.Fleet = fl
+		start := time.Now()
+		res, err := bench.RunFleet(opt)
+		if err != nil {
+			return fleetRow{}, err
+		}
+		r := fleetRowOf(mode, res)
+		fmt.Printf("%-18s %8.1f %9.1f %10s %10s %6.1f%% %6.1f%% %10d %9d %7d %6d %6d  [%v wall]\n",
+			mode, r.ReqPerSec, r.Goodput,
+			res.P50TTFT.Round(time.Millisecond), res.P99TTFT.Round(time.Millisecond),
+			100*r.HitRate, 100*r.PeerHitRate, r.ComputedPromptTokens, r.RecomputedTokens,
+			r.Migrations, r.Shed, r.Failed, time.Since(start).Round(time.Millisecond))
+		return r, nil
+	}
+	if storeExp {
+		fmt.Println("churn: fleet store vs local recompute")
+		header()
+		for _, v := range []struct {
+			mode string
+			fl   cluster.FleetPolicy
+		}{
+			{"local-recompute", cluster.FleetPolicy{}},
+			{"fleet-store", cluster.FleetPolicy{Store: true}},
+		} {
+			r, err := row(v.mode, v.fl)
+			if err != nil {
+				return err
+			}
+			fb.Churn = append(fb.Churn, r)
+		}
+	}
+	if migrateExp {
+		fb.DrainAfterMs = float64(drainAfter) / float64(time.Millisecond)
+		fb.DrainReplicas = drainReplicas
+		fmt.Printf("drain: %d replica(s) evacuate at %v\n", drainReplicas, drainAfter)
+		header()
+		for _, v := range []struct {
+			mode string
+			fl   cluster.FleetPolicy
+		}{
+			{"shed", cluster.FleetPolicy{DrainAfter: drainAfter, DrainReplicas: drainReplicas}},
+			{"migrate-recompute", cluster.FleetPolicy{Migrate: true, DrainAfter: drainAfter, DrainReplicas: drainReplicas}},
+			{"migrate-transfer", cluster.FleetPolicy{Store: true, Migrate: true, DrainAfter: drainAfter, DrainReplicas: drainReplicas}},
+		} {
+			r, err := row(v.mode, v.fl)
+			if err != nil {
+				return err
+			}
+			fb.Drain = append(fb.Drain, r)
+		}
+	}
+	if benchJSON == "" {
+		return nil
+	}
+	sb := loadServingBench(benchJSON)
+	if prev := sb.Fleet; prev != nil {
+		// Preserve the rows of whichever experiment did not re-run.
+		if !storeExp {
+			fb.Churn = prev.Churn
+		}
+		if !migrateExp {
+			fb.Drain, fb.DrainAfterMs, fb.DrainReplicas = prev.Drain, prev.DrainAfterMs, prev.DrainReplicas
+		}
+	}
+	sb.Fleet = &fb
+	buf, err := json.MarshalIndent(sb, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (fleet section)\n", benchJSON)
 	return nil
 }

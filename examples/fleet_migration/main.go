@@ -1,0 +1,113 @@
+// Fleet memory: a cluster-wide KV store and live request migration.
+//
+// Two scenarios on the same four-replica fleet:
+//
+//  1. Replica churn. Group popularity phase-shifts through the stream
+//     (ChurnGroups), so a replica keeps meeting prefixes that some
+//     *other* replica prefilled during an earlier phase and has since
+//     spilled to its host tier. Without the fleet store those tokens
+//     are recomputed locally; with it, the fleet directory finds the
+//     holder and the prefix arrives as a page-set over the
+//     interconnect — transfer time instead of prefill FLOPs.
+//
+//  2. Scale-down. One replica drains mid-stream. Without migration its
+//     in-flight requests are shed (terminal EventShed, work lost).
+//     With migration each one is swapped out, handed to the coolest
+//     survivor, and resumes where it left off — first-token latency
+//     already paid, decode position preserved. With the store on top,
+//     the destination restores the migrated prefix from the fleet
+//     instead of recomputing it.
+//
+// Run: go run ./examples/fleet_migration
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jenga"
+)
+
+const (
+	replicas = 4
+	rate     = 70 // req/s, just above the knee so queues form
+	deadline = 2 * time.Second
+)
+
+// churn builds the seeded replica-churn stream: 15 prefix groups of
+// 1024 tokens whose popularity rotates through 4 phases.
+func churn() []jenga.Request {
+	gen := jenga.NewWorkloadGen(42)
+	reqs := gen.ChurnGroups(15, 32, 1024, 128, 4)
+	gen.PoissonArrivals(reqs, rate)
+	jenga.SetDeadlines(reqs, deadline)
+	return reqs
+}
+
+func run(fl jenga.FleetPolicy) *jenga.ClusterResult {
+	c, err := jenga.NewCluster(jenga.ClusterConfig{
+		Spec:          jenga.Models.Gemma2_2B(),
+		Device:        jenga.H100(),
+		Replicas:      replicas,
+		CapacityBytes: 256 << 20, // starved: the 15-group working set overflows
+		HostTierBytes: 2 << 30,
+		PreemptMode:   jenga.PreemptSwap,
+		SLOTTFT:       250 * time.Millisecond,
+		Fleet:         fl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.ServeOnline(churn())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Printf("fleet memory: %d × Gemma-2-2B, replica-churn stream at %d req/s\n\n", replicas, rate)
+
+	fmt.Println("1) cluster-wide KV store vs local recompute")
+	fmt.Printf("   %-16s %9s %7s %7s %12s %10s\n",
+		"mode", "goodput", "hit", "peer", "computed", "p99 TTFT")
+	for _, c := range []struct {
+		name string
+		fl   jenga.FleetPolicy
+	}{
+		{"local-recompute", jenga.FleetPolicy{}},
+		{"fleet-store", jenga.FleetPolicy{Store: true}},
+	} {
+		res := run(c.fl)
+		fmt.Printf("   %-16s %9.1f %6.1f%% %6.1f%% %12d %10s\n",
+			c.name, res.Goodput, 100*res.HitRate, 100*res.PeerHitRate,
+			res.ComputedPromptTokens, res.P99TTFT.Round(time.Millisecond))
+		if c.fl.Store {
+			fmt.Printf("   %-16s %d peer fetches moved %d MiB over the interconnect\n",
+				"", res.PeerHits, res.PeerBytes>>20)
+		}
+	}
+
+	fmt.Println("\n2) scale-down: one replica drains 3s into the stream")
+	fmt.Printf("   %-18s %9s %7s %6s %6s %10s\n",
+		"mode", "goodput", "done", "shed", "migr", "p99 TTFT")
+	drain := jenga.FleetPolicy{DrainAfter: 3 * time.Second, DrainReplicas: 1}
+	for _, c := range []struct {
+		name string
+		fl   jenga.FleetPolicy
+	}{
+		{"shed", drain},
+		{"migrate-recompute", func() jenga.FleetPolicy { f := drain; f.Migrate = true; return f }()},
+		{"migrate-transfer", func() jenga.FleetPolicy { f := drain; f.Migrate = true; f.Store = true; return f }()},
+	} {
+		res := run(c.fl)
+		fmt.Printf("   %-18s %9.1f %7d %6d %6d %10s\n",
+			c.name, res.Goodput, res.Finished, res.Shed, res.Migrations,
+			res.P99TTFT.Round(time.Millisecond))
+	}
+
+	fmt.Println()
+	fmt.Println("The store turns another replica's spilled prefill into a page-set")
+	fmt.Println("transfer; migration turns a drain from lost work into a hand-off.")
+}

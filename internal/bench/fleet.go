@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"time"
+
+	"jenga/internal/cluster"
+	"jenga/internal/engine"
+	"jenga/internal/gpu"
+	"jenga/internal/model"
+	"jenga/internal/workload"
+)
+
+// FleetOptions configures one run of the fleet-memory benchmark: a
+// seeded replica-churn Poisson stream (group popularity phase-shifts
+// through the stream, so replicas keep seeing prefixes some other
+// replica computed earlier) driven through ServeOnline under one
+// cluster.FleetPolicy. jengabench's fleet modes run it once per policy
+// variant so BENCH_serving.json records a fleet-store-vs-recompute and
+// a migrate-vs-shed comparison on identical workloads.
+type FleetOptions struct {
+	// Spec and Device describe the replicas (required Spec; zero
+	// Device means H100).
+	Spec   *model.Spec
+	Device gpu.Device
+	// Replicas is the fleet size (min 2 for anything fleet-y to move).
+	Replicas int
+	// CapacityBytes overrides each replica's KV budget (0 = the full
+	// device budget) — small budgets force the tier spills the fleet
+	// store serves peers from.
+	CapacityBytes int64
+	// HostTierBytes gives every replica manager a host-memory KV tier
+	// (the fleet store's substrate; fleet runs always use swap
+	// preemption when a tier is present).
+	HostTierBytes int64
+	// Router places arrivals (the zero value is round-robin, the
+	// placement that maximizes churn).
+	Router cluster.RouterPolicy
+	// Requests, Rate, Groups, PrefixLen, SuffixLen and Phases shape
+	// the churn workload (Phases popularity windows over the stream).
+	Requests  int
+	Rate      float64
+	Groups    int
+	PrefixLen int
+	SuffixLen int
+	Phases    int
+	// SLOTTFT is the fleet TTFT target; Deadline the per-request E2E
+	// budget for goodput (0 = none).
+	SLOTTFT  time.Duration
+	Deadline time.Duration
+	// Seed drives the deterministic workload generator.
+	Seed int64
+	// Fleet is the policy under test: store on/off, migration on/off,
+	// drain schedule.
+	Fleet cluster.FleetPolicy
+}
+
+// RequestCount is the number of requests ChurnWorkload generates
+// (Requests rounded to whole groups), without generating them.
+func (o FleetOptions) RequestCount() int {
+	perGroup := o.Requests / o.Groups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	return o.Groups * perGroup
+}
+
+// ChurnWorkload builds the options' seeded replica-churn stream:
+// phase-shifted group popularity, Poisson arrivals, uniform deadlines.
+func ChurnWorkload(o FleetOptions) []workload.Request {
+	perGroup := o.Requests / o.Groups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	gen := workload.NewGen(o.Seed)
+	reqs := gen.ChurnGroups(o.Groups, perGroup, o.PrefixLen, o.SuffixLen, o.Phases)
+	gen.PoissonArrivals(reqs, o.Rate)
+	if o.Deadline > 0 {
+		workload.SetDeadlines(reqs, o.Deadline)
+	}
+	return reqs
+}
+
+// RunFleet drives the options' churn workload through a fresh
+// cluster's ServeOnline under the given fleet policy. A fresh cluster
+// per call keeps variants comparable — every policy starts from cold
+// caches and an empty directory on the identical seeded stream.
+func RunFleet(o FleetOptions) (*cluster.Result, error) {
+	mode := engine.PreemptRecompute
+	if o.HostTierBytes > 0 {
+		mode = engine.PreemptSwap
+	}
+	c, err := cluster.New(cluster.Config{
+		Spec:          o.Spec,
+		Device:        o.Device,
+		Replicas:      o.Replicas,
+		CapacityBytes: o.CapacityBytes,
+		Policy:        o.Router,
+		SLOTTFT:       o.SLOTTFT,
+		HostTierBytes: o.HostTierBytes,
+		PreemptMode:   mode,
+		Fleet:         o.Fleet,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.ServeOnline(ChurnWorkload(o))
+}

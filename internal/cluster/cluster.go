@@ -36,6 +36,7 @@ import (
 
 	"jenga/internal/core"
 	"jenga/internal/engine"
+	"jenga/internal/fleet"
 	"jenga/internal/gpu"
 	"jenga/internal/metrics"
 	"jenga/internal/model"
@@ -98,6 +99,16 @@ type Config struct {
 	// SLOTTFT is the fleet time-to-first-token target SLO attainment
 	// is measured against (0: attainment over per-request deadlines).
 	SLOTTFT time.Duration
+	// Fleet configures the cluster-wide KV store and live request
+	// migration for ServeOnline (see FleetPolicy). Zero value:
+	// disabled — no directory, no peer transfers, no migration.
+	Fleet FleetPolicy
+	// EventSink, when set, receives every replica engine's events
+	// tagged with the replica index. During the arrival loop events
+	// arrive serially; during the concurrent drain phase they arrive
+	// from replica goroutines, so implementations must be
+	// goroutine-safe.
+	EventSink func(replica int, ev engine.Event)
 }
 
 // ReplicaResult is one replica's share of a cluster run.
@@ -174,6 +185,23 @@ type Result struct {
 	// P99Restore is the p99 per-request PCIe restore time over every
 	// finished request in the fleet.
 	P99Restore time.Duration
+	// CachedPromptTokens and ComputedPromptTokens are HitRate's exact
+	// numerator and computed remainder summed across replicas —
+	// exported so fleet experiments can compare recompute volumes
+	// directly instead of back-deriving them from ratios.
+	CachedPromptTokens, ComputedPromptTokens int64
+	// PeerHits counts fleet-store fetches that extended a replica's
+	// local prefix from a peer's host tier; PeerTokens is the prefix
+	// length they added, PeerBytes the peer-link wire volume (fetches
+	// plus migration moves), and PeerHitRate the peer-served share of
+	// all prefill work (the fleet-store counterpart of TierHitRate).
+	PeerHits    int
+	PeerTokens  int64
+	PeerBytes   int64
+	PeerHitRate float64
+	// Migrations counts live request migrations completed fleet-wide
+	// (the sum of per-replica MigratedIn).
+	Migrations int
 	// PerReplica holds each replica's share, indexed by replica.
 	PerReplica []ReplicaResult
 }
@@ -185,6 +213,10 @@ type Cluster struct {
 	cfg     Config
 	router  Router
 	engines []*engine.Engine
+	// store is the fleet-wide KV store (nil unless Config.Fleet.Store
+	// is on): one prefix directory spanning every replica's host tier
+	// plus the peer-transfer path (see internal/fleet).
+	store *fleet.Store
 	// drainRate is the nominal per-replica serving rate (tokens per
 	// simulated second) used to decay Load.Outstanding between
 	// arrivals: the cost model's compute-bound token rate.
@@ -231,11 +263,13 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	c := &Cluster{cfg: cfg, router: router}
+	managers := make([]core.Manager, 0, cfg.Replicas)
 	for i := 0; i < cfg.Replicas; i++ {
 		mgr, err := newMgr(i)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d manager: %w", i, err)
 		}
+		managers = append(managers, mgr)
 		scheduler := cfg.Scheduler
 		if cfg.NewScheduler != nil {
 			if s := cfg.NewScheduler(i); s != nil {
@@ -256,8 +290,13 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d engine: %w", i, err)
 		}
+		if cfg.EventSink != nil {
+			sink, replica := cfg.EventSink, i
+			eng.SetEventSink(func(ev engine.Event) { sink(replica, ev) })
+		}
 		c.engines = append(c.engines, eng)
 	}
+	c.attachFleet(managers)
 	// 2 FLOPs per active parameter per token, compute-bound: the same
 	// first-order term the cost model charges per scheduled token.
 	if f := cfg.Device.FLOPS; f > 0 {
@@ -402,6 +441,10 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result, routedGroups
 		out.RecomputedTokens += res.RecomputedTokens
 		out.SwapOuts += res.SwapOuts
 		out.SwapIns += res.SwapIns
+		out.PeerHits += res.PeerHits
+		out.PeerTokens += res.PeerTokens
+		out.PeerBytes += res.PeerBytes
+		out.Migrations += res.MigratedIn
 		out.MeanKVUtil += res.MeanKVUtil
 		for _, rm := range res.PerRequest {
 			ttfts = append(ttfts, rm.TTFT)
@@ -447,9 +490,12 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result, routedGroups
 	} else {
 		out.SLOAttainment = metrics.Fraction(deadlineMet, out.Finished)
 	}
+	out.CachedPromptTokens = cached
+	out.ComputedPromptTokens = computed
 	if work := cached + computed; work > 0 {
 		out.HitRate = float64(cached) / float64(work)
 		out.TierHitRate = float64(restored) / float64(work)
+		out.PeerHitRate = float64(out.PeerTokens) / float64(work)
 	}
 	out.P99Restore = metrics.Percentile(restores, 99)
 	out.Imbalance = metrics.Imbalance(shares)

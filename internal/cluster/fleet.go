@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"time"
+
+	"jenga/internal/core"
+	"jenga/internal/fleet"
+)
+
+// FleetPolicy configures the cluster-wide KV store and live request
+// migration (internal/fleet) for ServeOnline. The zero value disables
+// everything: no directory, no peer transfers, no migration — the
+// cluster is bit-identical to a fleet-unaware one.
+type FleetPolicy struct {
+	// Store enables the fleet-wide KV store: every replica's host tier
+	// registers its content in a shared prefix directory, and a local
+	// prefix miss at routing time fetches a peer's spilled pages over
+	// the device peer link (gpu.Device.LinkBW) instead of recomputing.
+	// Requires the replicas to have host tiers (Config.HostTierBytes
+	// or a tiered custom manager); without one the store never holds
+	// anything and fetches never fire.
+	Store bool
+	// Migrate enables live request migration: replica drain evacuates
+	// in-flight requests to the surviving replicas instead of shedding
+	// them, and ImbalanceThreshold rebalancing moves work off hot
+	// replicas. With Store also set, a migrated request's swapped
+	// pages follow it over the peer link; without, the destination
+	// restores what its own cache holds and recomputes the rest.
+	Migrate bool
+	// ImbalanceThreshold triggers a rebalancing migration when the
+	// hottest replica's outstanding tokens exceed threshold × the
+	// fleet mean (values ≤ 1 or Migrate unset: no rebalancing). One
+	// request moves per arrival, hottest replica to coolest, so
+	// rebalancing can never thrash faster than the offered load.
+	ImbalanceThreshold float64
+	// DrainAfter, when positive, drains the DrainReplicas
+	// highest-indexed replicas at the first arrival at or past it
+	// (scale-down): their live requests migrate (Migrate) or shed
+	// (otherwise), and the router stops placing new work on them.
+	DrainAfter time.Duration
+	// DrainReplicas is how many replicas DrainAfter removes
+	// (default 1, capped at Replicas-1).
+	DrainReplicas int
+}
+
+// enabled reports whether any fleet mechanism is on.
+func (p FleetPolicy) enabled() bool {
+	return p.Store || p.Migrate || p.DrainAfter > 0
+}
+
+// fleetFetch runs the fleet-store miss path for a request routed to
+// replica rep: if the directory says peers extend rep's local prefix,
+// the pages move into rep's host tier now (serially, before Submit)
+// and the wire bytes are charged to rep's next step as peer-link DMA.
+func (c *Cluster) fleetFetch(rep int, id int64, prompt []core.Token) {
+	if c.store == nil {
+		return
+	}
+	seq := &core.Sequence{ID: core.RequestID(id), PromptLen: len(prompt), Tokens: prompt}
+	now := core.Tick(c.engines[rep].SnapshotTotals().Step)
+	if tokens, bytes := c.store.Fetch(rep, seq, now); bytes > 0 {
+		c.engines[rep].RecordPeerFetch(tokens, bytes)
+	}
+}
+
+// migrate moves one live request from replica src to replica dst:
+// swap out (the source tier keeps the pages and registers them in the
+// directory), fetch the pages into dst's tier when the store is on,
+// resume on dst through the ordinary re-admission path. Reports false
+// for unknown IDs.
+func (c *Cluster) migrate(src, dst int, id int64) bool {
+	m, ok := c.engines[src].MigrateOut(id)
+	if !ok {
+		return false
+	}
+	if c.store != nil && len(m.Tokens) > 0 {
+		seq := &core.Sequence{ID: core.RequestID(m.Req.ID), PromptLen: len(m.Req.Prompt), Tokens: m.Tokens}
+		now := core.Tick(c.engines[dst].SnapshotTotals().Step)
+		if tokens, bytes := c.store.Fetch(dst, seq, now); bytes > 0 {
+			c.engines[dst].RecordPeerFetch(tokens, bytes)
+		}
+	}
+	c.engines[dst].MigrateIn(m)
+	return true
+}
+
+// coolestReplica returns the non-drained replica with the fewest
+// outstanding tokens (lowest index on ties), excluding `exclude`
+// (pass a negative to exclude none). Returns -1 when every candidate
+// is drained.
+func (c *Cluster) coolestReplica(drained []bool, exclude int) int {
+	best, bestOut := -1, int64(0)
+	for i, e := range c.engines {
+		if drained[i] || i == exclude {
+			continue
+		}
+		out := e.SnapshotTotals().OutstandingTokens
+		if best < 0 || out < bestOut {
+			best, bestOut = i, out
+		}
+	}
+	return best
+}
+
+// drainReplicas evacuates the fleet's tail replicas for scale-down:
+// every live request on a draining replica migrates to the coolest
+// surviving replica (Migrate) or is shed (otherwise). Runs serially
+// inside the arrival loop, so the evacuation is deterministic.
+func (c *Cluster) drainReplicas(drained []bool) {
+	n := len(c.engines)
+	k := c.cfg.Fleet.DrainReplicas
+	if k <= 0 {
+		k = 1
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	for d := n - k; d < n; d++ {
+		drained[d] = true
+	}
+	for d := n - k; d < n; d++ {
+		for _, cand := range c.engines[d].MigrationCandidates() {
+			if c.cfg.Fleet.Migrate {
+				if dst := c.coolestReplica(drained, -1); dst >= 0 {
+					c.migrate(d, dst, cand.ID)
+					continue
+				}
+			}
+			c.engines[d].Shed(cand.ID)
+		}
+	}
+}
+
+// rebalance moves one request from the hottest replica to the coolest
+// when the imbalance threshold is exceeded. The victim is the
+// deterministic first candidate with the most remaining work, running
+// requests preferred (their KV rides the transfer path; queued ones
+// carry nothing).
+func (c *Cluster) rebalance(drained []bool) {
+	thr := c.cfg.Fleet.ImbalanceThreshold
+	if !c.cfg.Fleet.Migrate || thr <= 1 {
+		return
+	}
+	var total int64
+	hot, hotOut := -1, int64(0)
+	live := 0
+	for i, e := range c.engines {
+		if drained[i] {
+			continue
+		}
+		live++
+		out := e.SnapshotTotals().OutstandingTokens
+		total += out
+		if out > hotOut {
+			hot, hotOut = i, out
+		}
+	}
+	if live < 2 || hot < 0 {
+		return
+	}
+	mean := float64(total) / float64(live)
+	if mean <= 0 || float64(hotOut) <= thr*mean {
+		return
+	}
+	var victim int64 = -1
+	best, bestRunning := 0, false
+	for _, cand := range c.engines[hot].MigrationCandidates() {
+		better := cand.Remaining > best || (cand.Remaining == best && cand.Running && !bestRunning)
+		if victim < 0 || (cand.Running && !bestRunning) || (cand.Running == bestRunning && better) {
+			victim, best, bestRunning = cand.ID, cand.Remaining, cand.Running
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	if dst := c.coolestReplica(drained, hot); dst >= 0 {
+		c.migrate(hot, dst, victim)
+	}
+}
+
+// attachFleet builds the store and wires every replica's tier into
+// the shared directory (called from New when the policy asks for it).
+// Migration without the store needs no wiring at all: MigrateOut
+// swaps the source's pages cache-preservingly either way, but nothing
+// fetches across replicas — the destination restores what its own
+// cache holds and recomputes the rest.
+func (c *Cluster) attachFleet(managers []core.Manager) {
+	if !c.cfg.Fleet.Store {
+		return
+	}
+	c.store = fleet.NewStore(len(managers))
+	for i, m := range managers {
+		c.store.Attach(i, m)
+	}
+}

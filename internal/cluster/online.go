@@ -37,6 +37,11 @@ func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
 	stream := append([]workload.Request(nil), reqs...)
 	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Arrival < stream[j].Arrival })
 
+	// Fleet state for this pass: which replicas have been drained for
+	// scale-down, and whether the drain already fired.
+	drained := make([]bool, n)
+	drainFired := false
+
 	lastArrival := time.Duration(0)
 	for i := range stream {
 		r := &stream[i]
@@ -67,10 +72,29 @@ func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
 			loads[j].QueueDepth = snap.Pending + snap.Waiting
 			loads[j].OutstandingTokens = snap.OutstandingTokens
 		}
+		// Scale-down: at the first arrival past the drain deadline the
+		// tail replicas evacuate — live requests migrate to survivors
+		// (Fleet.Migrate) or shed — and stop receiving new work.
+		if c.cfg.Fleet.DrainAfter > 0 && !drainFired && r.Arrival >= c.cfg.Fleet.DrainAfter {
+			drainFired = true
+			c.drainReplicas(drained)
+		}
 		rep := c.router.Route(r, loads)
 		if rep < 0 || rep >= n {
 			rep = 0 // defensive: a broken custom router must not panic the run
 		}
+		if drained[rep] {
+			// The router's pick is out of service: fall over to the
+			// coolest surviving replica (deterministic — serial loop,
+			// lowest index on ties).
+			if alt := c.coolestReplica(drained, -1); alt >= 0 {
+				rep = alt
+			}
+		}
+		// Fleet store: if peers hold prefix blocks this replica lacks,
+		// move them into its host tier before the request is submitted
+		// (the admission claim then restores them locally).
+		c.fleetFetch(rep, r.ID, r.Prompt)
 		if err := c.engines[rep].Submit(r); err != nil {
 			return nil, fmt.Errorf("cluster: replica %d: %w", rep, err)
 		}
@@ -78,6 +102,9 @@ func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
 		loads[rep].Requests++
 		loads[rep].RoutedTokens += work
 		loads[rep].Outstanding += float64(work)
+		// Imbalance rebalancing: at most one migration per arrival,
+		// hottest surviving replica to coolest.
+		c.rebalance(drained)
 	}
 
 	// Drain concurrently: all requests are placed, replicas are

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"testing"
+)
+
+// recObs records TierObserver notifications for assertions.
+type recObs struct {
+	stored, evicted map[uint64]bool
+}
+
+func newRecObs() *recObs {
+	return &recObs{stored: make(map[uint64]bool), evicted: make(map[uint64]bool)}
+}
+
+func (o *recObs) TierStored(group string, hashes []uint64) {
+	for _, h := range hashes {
+		o.stored[h] = true
+	}
+}
+
+func (o *recObs) TierEvicted(group string, hashes []uint64) {
+	for _, h := range hashes {
+		o.evicted[h] = true
+		delete(o.stored, h)
+	}
+}
+
+func (o *recObs) hashes() []uint64 {
+	out := make([]uint64, 0, len(o.stored))
+	for h := range o.stored {
+		out = append(out, h)
+	}
+	return out
+}
+
+// spillAll commits one 33-token sequence on m, stamps its backed
+// bytes, releases it and evicts everything so the content sits in the
+// host tier. Returns the stamps for round-trip checks.
+func spillAll(t *testing.T, m *Jenga) map[uint64]byte {
+	t.Helper()
+	seq := textSeq(1, 33)
+	seq.PromptLen = 33
+	if err := m.Reserve(seq, 33, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(seq, 33, 1)
+	stamps := stampPages(t, m, seq)
+	if len(stamps) == 0 {
+		t.Fatal("no complete blocks stamped")
+	}
+	m.Release(seq, true)
+	for m.evictLargeLRU() {
+	}
+	if st := m.TierStats(); st.SwapOuts == 0 {
+		t.Fatalf("eviction did not spill: %+v", st)
+	}
+	return stamps
+}
+
+// TestFleetExportImportRoundTrip moves spilled pages from replica A to
+// replica B through the serializable page-set surface and verifies B
+// serves the prefix with byte-exact content — without polluting B's
+// spill counters or PCIe transfer budget (peer traffic rides the peer
+// link, charged by the engine, not DrainTransfers).
+func TestFleetExportImportRoundTrip(t *testing.T) {
+	a := newTieredMgr(t, flatSpec(), 1<<16, 1<<20, 4)
+	obs := newRecObs()
+	a.SetTierObserver(obs)
+	stamps := spillAll(t, a)
+	if len(obs.stored) == 0 {
+		t.Fatal("observer saw no stores")
+	}
+
+	ps, ok := a.ExportPrefix("kv", obs.hashes())
+	if !ok || len(ps.Pages) == 0 {
+		t.Fatalf("ExportPrefix failed: ok=%v pages=%d", ok, len(ps.Pages))
+	}
+	if ps.PageBytes <= 0 || ps.Bytes() != int64(len(ps.Pages))*ps.PageBytes {
+		t.Fatalf("bad page-set accounting: %+v", ps)
+	}
+	st := a.TierStats()
+	if st.PeerExports != int64(len(ps.Pages)) || st.PeerExportBytes != ps.Bytes() {
+		t.Fatalf("export stats %+v don't match set (%d pages)", st, len(ps.Pages))
+	}
+
+	b := newTieredMgr(t, flatSpec(), 1<<16, 1<<20, 4)
+	pages, bytes := b.ImportPrefix(ps, 2)
+	if pages != len(ps.Pages) || bytes != ps.Bytes() {
+		t.Fatalf("ImportPrefix = %d pages/%d bytes, want %d/%d", pages, bytes, len(ps.Pages), ps.Bytes())
+	}
+	bst := b.TierStats()
+	if bst.PeerImports != int64(pages) || bst.PeerImportBytes != bytes {
+		t.Fatalf("import stats %+v", bst)
+	}
+	if bst.SwapOuts != 0 || bst.SpilledBytes != 0 {
+		t.Fatalf("peer import polluted spill counters: %+v", bst)
+	}
+	if h2d, d2h := b.DrainTransfers(); h2d != 0 || d2h != 0 {
+		t.Fatalf("peer import charged PCIe: %d/%d", h2d, d2h)
+	}
+
+	// B never computed this prefix, but its tier now holds it.
+	probe := textSeq(9, 33)
+	probe.PromptLen = 33
+	if p := b.Lookup(probe); p < 32 {
+		t.Fatalf("B Lookup = %d, want ≥ 32", p)
+	}
+	if err := b.Reserve(probe, 33, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CachedPrefix(probe); got < 32 {
+		t.Fatalf("B CachedPrefix = %d, want ≥ 32", got)
+	}
+	// Restored bytes on B must match A's stamps exactly.
+	r := b.reqs[probe.ID]
+	checked := 0
+	for gi, g := range b.groups {
+		rg := &r.g[gi]
+		for blk := range rg.pages {
+			if !rg.pages[blk].held {
+				continue
+			}
+			pg := &g.pages[rg.pages[blk].id]
+			want, ok := stamps[pg.hash]
+			if !ok {
+				continue
+			}
+			buf, err := g.view.SmallSlice(rg.pages[blk].id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range buf {
+				if buf[i] != want {
+					t.Fatalf("block %d byte %d = %#x, want %#x", blk, i, buf[i], want)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no transferred blocks verified")
+	}
+	audit(t, a)
+	audit(t, b)
+}
+
+// TestFleetImportDedup: re-importing a page set whose blocks are
+// already resident admits nothing (and keeps the stats clean).
+func TestFleetImportDedup(t *testing.T) {
+	a := newTieredMgr(t, flatSpec(), 1<<16, 1<<20, 4)
+	obs := newRecObs()
+	a.SetTierObserver(obs)
+	spillAll(t, a)
+	ps, ok := a.ExportPrefix("kv", obs.hashes())
+	if !ok {
+		t.Fatal("export failed")
+	}
+
+	b := newTieredMgr(t, flatSpec(), 1<<16, 1<<20, 4)
+	if pages, _ := b.ImportPrefix(ps, 1); pages == 0 {
+		t.Fatal("first import admitted nothing")
+	}
+	ps2, ok := a.ExportPrefix("kv", obs.hashes())
+	if !ok {
+		t.Fatal("second export failed")
+	}
+	if pages, bytes := b.ImportPrefix(ps2, 2); pages != 0 || bytes != 0 {
+		t.Fatalf("duplicate import admitted %d pages/%d bytes, want 0/0", pages, bytes)
+	}
+	// Unknown group: rejected outright.
+	ps3 := ps2
+	ps3.Group = "no-such-group"
+	if pages, _ := b.ImportPrefix(ps3, 3); pages != 0 {
+		t.Fatal("unknown-group import admitted pages")
+	}
+	audit(t, b)
+}
+
+// TestFleetExportSkipsPinned: a page pinned by an in-flight restore is
+// never exported.
+func TestFleetExportSkipsPinned(t *testing.T) {
+	m := newTieredMgr(t, flatSpec(), 1<<16, 1<<20, 4)
+	obs := newRecObs()
+	m.SetTierObserver(obs)
+	spillAll(t, m)
+	hashes := obs.hashes()
+	ps, ok := m.ExportPrefix("kv", hashes)
+	if !ok {
+		t.Fatal("baseline export failed")
+	}
+	baseline := len(ps.Pages)
+
+	// Pin every page, as a mid-claim restore would.
+	for seq := range m.host.pages {
+		m.host.pinned[seq]++
+	}
+	if _, ok := m.ExportPrefix("kv", hashes); ok {
+		t.Fatal("export succeeded with every page pinned")
+	}
+	// Unpin: exports flow again.
+	for seq := range m.host.pages {
+		delete(m.host.pinned, seq)
+	}
+	ps2, ok := m.ExportPrefix("kv", hashes)
+	if !ok || len(ps2.Pages) != baseline {
+		t.Fatalf("post-unpin export = %d pages, want %d", len(ps2.Pages), baseline)
+	}
+}
+
+// TestFleetObserverEviction: budget evictions notify TierEvicted for
+// exactly the hashes whose live copy died.
+func TestFleetObserverEviction(t *testing.T) {
+	// Tier budget of exactly one large page: every store evicts the
+	// previous page (page size read off a throwaway manager).
+	pageBytes := newTieredMgr(t, flatSpec(), 1<<16, 1<<20, 4).host.pageBytes
+	m := newTieredMgr(t, flatSpec(), 1<<16, pageBytes, 4)
+	obs := newRecObs()
+	m.SetTierObserver(obs)
+	spillAll(t, m)
+	if len(obs.evicted) == 0 {
+		t.Fatal("one-page tier spilled many pages but evicted none")
+	}
+	for h := range obs.stored {
+		if _, ok := m.host.index["kv"][h]; !ok {
+			t.Fatalf("observer thinks %#x is stored but the index lost it", h)
+		}
+	}
+	for h := range obs.evicted {
+		if _, ok := m.host.index["kv"][h]; ok {
+			t.Fatalf("observer thinks %#x was evicted but it is still resident", h)
+		}
+	}
+}
+
+// TestLookupFleetPeerExtension: a peer-presence oracle extends the
+// prefix past what the local tiers hold, and the fetch list names
+// exactly the peer-only blocks; once imported, the same lookup goes
+// local and the fetch list empties.
+func TestLookupFleetPeerExtension(t *testing.T) {
+	a := newTieredMgr(t, flatSpec(), 1<<16, 1<<20, 4)
+	obs := newRecObs()
+	a.SetTierObserver(obs)
+	spillAll(t, a)
+
+	b := newTieredMgr(t, flatSpec(), 1<<16, 1<<20, 4)
+	probe := textSeq(7, 33)
+	probe.PromptLen = 33
+	if p := b.Lookup(probe); p != 0 {
+		t.Fatalf("B local lookup = %d, want 0", p)
+	}
+	peer := func(group string, hash uint64) bool { return group == "kv" && obs.stored[hash] }
+	p, fetch := b.LookupFleet(probe, peer)
+	if p < 32 || len(fetch) == 0 {
+		t.Fatalf("LookupFleet = %d with %d fetch blocks, want ≥ 32 with > 0", p, len(fetch))
+	}
+	for _, fb := range fetch {
+		if fb.Group != "kv" || !obs.stored[fb.Hash] {
+			t.Fatalf("fetch block %+v not held by the peer", fb)
+		}
+	}
+	// Nil oracle: the fleet path is off.
+	if p, fetch := b.LookupFleet(probe, nil); p != 0 || fetch != nil {
+		t.Fatalf("nil-peer LookupFleet = %d/%v, want 0/nil", p, fetch)
+	}
+
+	// Transfer, then the same lookup is local: no fetch needed.
+	hashes := make([]uint64, 0, len(fetch))
+	for _, fb := range fetch {
+		hashes = append(hashes, fb.Hash)
+	}
+	ps, ok := a.ExportPrefix("kv", hashes)
+	if !ok {
+		t.Fatal("export failed")
+	}
+	if pages, _ := b.ImportPrefix(ps, 2); pages == 0 {
+		t.Fatal("import admitted nothing")
+	}
+	p2, fetch2 := b.LookupFleet(probe, peer)
+	if p2 < p || len(fetch2) != 0 {
+		t.Fatalf("post-import LookupFleet = %d with %d fetch blocks, want ≥ %d with 0", p2, len(fetch2), p)
+	}
+	if lp := b.Lookup(probe); lp < p {
+		t.Fatalf("post-import local Lookup = %d, want ≥ %d", lp, p)
+	}
+}

@@ -72,6 +72,13 @@ type TierStats struct {
 	HostEvictions int64
 	// HostUsed and HostCapacity are the tier's live byte accounting.
 	HostUsed, HostCapacity int64
+	// PeerExports/PeerImports count pages serialized out of and
+	// injected into this tier by the fleet transfer path
+	// (ExportPrefix/ImportPrefix); the byte counters are the
+	// corresponding wire volumes. Peer traffic is deliberately kept
+	// out of SwapOuts/SpilledBytes: it rides the peer link, not PCIe.
+	PeerExports, PeerImports         int64
+	PeerExportBytes, PeerImportBytes int64
 }
 
 // hostTier is the byte-budgeted second memory tier.
@@ -96,6 +103,11 @@ type hostTier struct {
 	// pushes a new entry and the stale one is skipped later.
 	evict hostEvictHeap
 	stats TierStats
+	// obs, when set, is notified of every content change: block hashes
+	// entering the tier (store) and leaving it (dropPage). The fleet
+	// directory registers and invalidates through these callbacks; nil
+	// (the default) costs nothing.
+	obs TierObserver
 }
 
 // hostEvictEntry is one (touch, seq) snapshot in the eviction heap.
@@ -202,6 +214,19 @@ func (h *hostTier) unpin(seq int64) {
 // when the budget can never fit it, or when pins block every
 // eviction candidate).
 func (h *hostTier) spill(group string, blocks []hostBlock, now Tick) bool {
+	if !h.store(group, blocks, now) {
+		return false
+	}
+	h.stats.SwapOuts++
+	h.stats.SpilledBytes += h.pageBytes
+	return true
+}
+
+// store is the common page-admission path behind the D2H spill and the
+// fleet import: budget eviction, indexing, recency, observer
+// registration — everything except the transfer-direction accounting,
+// which the two callers charge differently.
+func (h *hostTier) store(group string, blocks []hostBlock, now Tick) bool {
 	if !h.hasRoomEver() || len(blocks) == 0 {
 		return false
 	}
@@ -224,9 +249,14 @@ func (h *hostTier) spill(group string, blocks []hostBlock, now Tick) bool {
 		gi[blocks[i].hash] = seq
 	}
 	h.used += pg.bytes
-	h.stats.SwapOuts++
-	h.stats.SpilledBytes += pg.bytes
 	h.stats.HostUsed = h.used
+	if h.obs != nil {
+		hashes := make([]uint64, len(blocks))
+		for i := range blocks {
+			hashes[i] = blocks[i].hash
+		}
+		h.obs.TierStored(group, hashes)
+	}
 	return true
 }
 
@@ -290,17 +320,26 @@ func (h *hostTier) evictOne() bool {
 }
 
 // dropPage removes a page, deleting only the index entries that
-// still point at it (a later re-spill may have repointed some).
+// still point at it (a later re-spill may have repointed some). The
+// observer hears exactly the hashes whose live copy died — repointed
+// hashes are still resident and stay registered.
 func (h *hostTier) dropPage(pg *hostPage) {
 	gi := h.index[pg.group]
+	var gone []uint64
 	for i := range pg.blocks {
 		if seq, ok := gi[pg.blocks[i].hash]; ok && seq == pg.seq {
 			delete(gi, pg.blocks[i].hash)
+			if h.obs != nil {
+				gone = append(gone, pg.blocks[i].hash)
+			}
 		}
 	}
 	delete(h.pages, pg.seq)
 	h.used -= pg.bytes
 	h.stats.HostUsed = h.used
+	if h.obs != nil && len(gone) > 0 {
+		h.obs.TierEvicted(pg.group, gone)
+	}
 }
 
 // --- Jenga integration ---------------------------------------------------
@@ -325,6 +364,15 @@ type TierManager interface {
 	// prefix claim: tokens and bytes served from the tier (zero when
 	// the claim was GPU-only or no claim happened).
 	RestoreCost(seq *Sequence) (tokens int, bytes int64)
+
+	// The fleet transfer surface (see fleet.go): serializing tier
+	// pages out for a peer, injecting a peer's pages, the
+	// peer-extended prefix lookup, and the content-change observer the
+	// fleet directory registers through.
+	ExportPrefix(group string, hashes []uint64) (PageSet, bool)
+	ImportPrefix(ps PageSet, now Tick) (pages int, bytes int64)
+	LookupFleet(seq *Sequence, peer PeerPresence) (p int, fetch []FetchBlock)
+	SetTierObserver(obs TierObserver)
 }
 
 var _ TierManager = (*Jenga)(nil)

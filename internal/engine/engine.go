@@ -237,6 +237,17 @@ type Result struct {
 	SwapOuts, SwapIns              int64
 	SwapOutBytes, SwapInBytes      int64
 	HostTierUsed, HostTierCapacity int64
+	// PeerHits counts fleet-store fetches that extended this replica's
+	// local prefix from a peer's host tier; PeerTokens is the prefix
+	// length they added over the local lookup, and PeerBytes the total
+	// peer-link wire volume charged (fetches plus migration moves).
+	PeerHits   int
+	PeerTokens int64
+	PeerBytes  int64
+	// MigratedIn and MigratedOut count live request migrations through
+	// this engine (a cluster's fleet-wide migration count is the sum
+	// of MigratedIn over replicas).
+	MigratedIn, MigratedOut int
 	// EncoderRuns counts vision-encoder invocations (Fig. 18).
 	EncoderRuns int
 	// Shed counts requests the admission policy dropped at arrival.
@@ -348,6 +359,18 @@ type Engine struct {
 	preemptions         int
 	encoderRuns         int
 	globalStalls        int
+
+	// Fleet accounting: peerHits/peerTokens count fleet-store prefix
+	// fetches that extended the local lookup; pendingPeerBytes is
+	// wire volume recorded since the last executed step, drained into
+	// that step's StepWork.PeerBytes (the peer-link DMA term) and
+	// accumulated into peerBytes. migratedIn/migratedOut count live
+	// request migrations through this engine.
+	peerHits                int
+	peerTokens              int64
+	peerBytes               int64
+	pendingPeerBytes        int64
+	migratedIn, migratedOut int
 
 	kvUtilSum  float64
 	kvUtilN    int
@@ -463,6 +486,12 @@ func (e *Engine) reset() {
 	e.totalRecomputed = 0
 	e.totalRestored = 0
 	e.preemptions = 0
+	e.peerHits = 0
+	e.peerTokens = 0
+	e.peerBytes = 0
+	e.pendingPeerBytes = 0
+	e.migratedIn = 0
+	e.migratedOut = 0
 	if e.tier != nil {
 		e.tierBase = e.tier.TierStats()
 	}
@@ -698,6 +727,14 @@ func (e *Engine) runStep() bool {
 	// reservations are device-to-device copies on the HBM term.
 	if e.forker != nil {
 		work.CopyBytes += e.forker.DrainCopyBytes()
+	}
+	// Peer-link transfers recorded since the previous executed step
+	// (fleet prefix fetches, migration page moves) ride this step's
+	// interconnect term.
+	if e.pendingPeerBytes > 0 {
+		work.PeerBytes += e.pendingPeerBytes
+		e.peerBytes += e.pendingPeerBytes
+		e.pendingPeerBytes = 0
 	}
 	e.clock += e.cost.StepTime(work)
 	e.decodeTimeline = append(e.decodeTimeline, decodeBatch)
@@ -1135,6 +1172,11 @@ func (e *Engine) result() *Result {
 		Shed:                 len(e.shed),
 		Cancelled:            len(e.cancelled),
 		Preemptions:          e.preemptions,
+		PeerHits:             e.peerHits,
+		PeerTokens:           e.peerTokens,
+		PeerBytes:            e.peerBytes,
+		MigratedIn:           e.migratedIn,
+		MigratedOut:          e.migratedOut,
 		EncoderRuns:          e.encoderRuns,
 		CachedPromptTokens:   e.totalCachedTokens,
 		ComputedPromptTokens: e.totalPromptComputed,

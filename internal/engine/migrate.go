@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"jenga/internal/core"
+	"jenga/internal/workload"
+)
+
+// Live request migration: MigrateOut extracts a request from this
+// engine — swapping its KV to the host tier so the fleet transfer
+// path can carry the pages — and MigrateIn resumes it on another
+// engine, re-entering through the ordinary re-admission path (prefix
+// claim first, recompute only what neither the destination's tier nor
+// a fleet fetch restored). The extracted state is exactly what
+// preemption already preserves plus the request's metrics continuity:
+// generated tokens (decode content is deterministic in (ID, position),
+// so a resumed decode produces identical output), the recompute
+// high-water mark, the first-token instant and the accumulated
+// restore shares. The cluster layer owns policy — when to migrate,
+// where to, and how to move the pages (internal/fleet).
+
+// Migrated is one request's portable runtime state.
+type Migrated struct {
+	// Req is the original request (the engine retained it; the
+	// destination retains it next).
+	Req *workload.Request
+	// Tokens is the sequence content at extraction: prompt plus every
+	// generated token.
+	Tokens []core.Token
+	// DecodesDone and EverComputed restore decode progress and the
+	// recompute high-water mark (cross-replica recomputation still
+	// counts as RecomputedTokens on the destination).
+	DecodesDone  int
+	EverComputed int
+	// RestoredTokens and RestoredBytes carry the request's host-tier
+	// restore share so its PerRequest record survives the move.
+	RestoredTokens int
+	RestoredBytes  int64
+	// FirstToken is the TTFT instant if prefill completed (0 before);
+	// Started marks that the request's arrival was processed.
+	FirstToken time.Duration
+	Started    bool
+	// ForkDone marks an already-expanded fan-out root.
+	ForkDone bool
+}
+
+// MigrationCandidate summarizes one live request for migration policy.
+type MigrationCandidate struct {
+	ID int64
+	// Remaining is the unserved work: uncommitted tokens plus undone
+	// output.
+	Remaining int
+	// Running marks actively scheduled requests (their KV moves with
+	// them); waiting and pending requests hold no pages.
+	Running bool
+}
+
+// MigrationCandidates lists this engine's live requests in
+// deterministic order — running first (schedule order), then waiting
+// (queue order), then pending (arrival order) — so cluster rebalancing
+// picks identically across runs.
+func (e *Engine) MigrationCandidates() []MigrationCandidate {
+	out := make([]MigrationCandidate, 0, len(e.running)+len(e.waiting)+len(e.pending))
+	add := func(r *run, running bool) {
+		rem := len(r.seq.Tokens) - r.computed
+		if rem < 0 {
+			rem = 0
+		}
+		if n := r.req.OutputLen - 1 - r.decodesDone; n > 0 {
+			rem += n
+		}
+		out = append(out, MigrationCandidate{ID: r.req.ID, Remaining: rem, Running: running})
+	}
+	for _, r := range e.running {
+		add(r, true)
+	}
+	for _, r := range e.waiting {
+		add(r, false)
+	}
+	for _, r := range e.pending {
+		add(r, false)
+	}
+	return out
+}
+
+// MigrateOut extracts the request with the given ID, releasing its KV
+// cache-preservingly — through the host tier's SwapOut when the
+// manager has one, so the pages survive for a fleet transfer — and
+// removing it from this engine without a terminal event (the request's
+// stream continues on the destination; EventMigrated marks the
+// hand-off point). Reports false for unknown IDs.
+func (e *Engine) MigrateOut(id int64) (Migrated, bool) {
+	extract := func(r *run, started bool) Migrated {
+		e.migratedOut++
+		e.emit(EventMigrated, r)
+		return Migrated{
+			Req:            r.req,
+			Tokens:         append([]core.Token(nil), r.seq.Tokens...),
+			DecodesDone:    r.decodesDone,
+			EverComputed:   r.everComputed,
+			RestoredTokens: r.restoredTokens,
+			RestoredBytes:  r.restoredBytes,
+			FirstToken:     r.firstToken,
+			Started:        started,
+			ForkDone:       r.forkDone,
+		}
+	}
+	for _, r := range e.running {
+		if r.req.ID != id {
+			continue
+		}
+		if e.tier != nil {
+			e.tier.SwapOut(r.seq)
+		} else {
+			e.cfg.Manager.Release(r.seq, true)
+		}
+		e.removeRunning(r)
+		return extract(r, true), true
+	}
+	for i, r := range e.waiting {
+		if r.req.ID != id {
+			continue
+		}
+		e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+		e.cfg.Manager.Release(r.seq, false) // holds no pages; defensive
+		return extract(r, true), true
+	}
+	for i, r := range e.pending {
+		if r.req.ID != id {
+			continue
+		}
+		e.pending = append(e.pending[:i], e.pending[i+1:]...)
+		return extract(r, false), true
+	}
+	return Migrated{}, false
+}
+
+// MigrateIn resumes a migrated request on this engine. Started
+// requests join the waiting queue directly (arrival was already
+// processed on the source — admission is not re-run, mirroring how a
+// preempted request never re-sheds) and re-enter through the prefill
+// path: the first chunk's prefix claim restores whatever this
+// replica's cache, its host tier or a prior fleet fetch holds, and
+// only the remainder recomputes. Unstarted requests re-join the
+// arrival queue. IDs must remain unique among this engine's live
+// requests.
+func (e *Engine) MigrateIn(m Migrated) {
+	toks := make([]core.Token, 0, len(m.Req.Prompt)+m.Req.OutputLen)
+	toks = append(toks, m.Tokens...)
+	r := &run{
+		req:            m.Req,
+		seq:            &core.Sequence{ID: core.RequestID(m.Req.ID), PromptLen: len(m.Req.Prompt), Tokens: toks},
+		ph:             phasePrefill,
+		decodesDone:    m.DecodesDone,
+		everComputed:   m.EverComputed,
+		restoredTokens: m.RestoredTokens,
+		restoredBytes:  m.RestoredBytes,
+		firstToken:     m.FirstToken,
+		started:        m.Started,
+		forkDone:       m.ForkDone,
+	}
+	e.totalPromptTokens += int64(len(m.Req.Prompt))
+	e.migratedIn++
+	if !m.Started {
+		i := sort.Search(len(e.pending), func(i int) bool { return e.pending[i].req.Arrival > m.Req.Arrival })
+		e.pending = append(e.pending, nil)
+		copy(e.pending[i+1:], e.pending[i:])
+		e.pending[i] = r
+		return
+	}
+	e.waiting = append(e.waiting, r)
+	e.emit(EventQueued, r)
+}
+
+// Shed drops the live request with the given ID as if the admission
+// policy had rejected it — the no-migration baseline for replica
+// drain. Running requests release their KV cache-preservingly.
+// Reports false for unknown IDs.
+func (e *Engine) Shed(id int64) bool {
+	for i, r := range e.pending {
+		if r.req.ID == id {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			e.shed = append(e.shed, r)
+			e.emit(EventShed, r)
+			return true
+		}
+	}
+	for i, r := range e.waiting {
+		if r.req.ID == id {
+			e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
+			e.cfg.Manager.Release(r.seq, false)
+			e.shed = append(e.shed, r)
+			e.emit(EventShed, r)
+			return true
+		}
+	}
+	for _, r := range e.running {
+		if r.req.ID == id {
+			e.cfg.Manager.Release(r.seq, true)
+			e.removeRunning(r)
+			e.shed = append(e.shed, r)
+			e.emit(EventShed, r)
+			return true
+		}
+	}
+	return false
+}
+
+// RecordPeerFetch accounts one fleet peer transfer into this engine:
+// tokens is the prefix length the fetch added over the local lookup
+// (0 for migration page moves), bytes the wire volume. The bytes are
+// charged as peer-link DMA time on the engine's next executed step
+// (gpu.StepWork.PeerBytes), exactly as tier transfers ride the PCIe
+// term.
+func (e *Engine) RecordPeerFetch(tokens int, bytes int64) {
+	if tokens > 0 {
+		e.peerHits++
+		e.peerTokens += int64(tokens)
+	}
+	e.pendingPeerBytes += bytes
+}

@@ -47,6 +47,11 @@ const (
 	// EventCancelled: Cancel released the request's KV mid-flight
 	// (terminal).
 	EventCancelled
+	// EventMigrated: the request was extracted for live migration to
+	// another replica. Not terminal — the request's stream continues
+	// on the destination engine, which re-emits EventQueued there and
+	// eventually the terminal event.
+	EventMigrated
 )
 
 // String names the event type for logs and traces.
@@ -68,6 +73,8 @@ func (t EventType) String() string {
 		return "shed"
 	case EventCancelled:
 		return "cancelled"
+	case EventMigrated:
+		return "migrated"
 	default:
 		return fmt.Sprintf("EventType(%d)", int(t))
 	}

@@ -1,0 +1,160 @@
+package fleet
+
+import "testing"
+
+// refDirectory is the map-based reference model: identical semantics
+// to Directory (including pin-deferred invalidation), naive data
+// structures. The fuzz target cross-checks every Lookup and Len
+// against it.
+type refDirectory struct {
+	holders  map[string]map[uint64]map[int]bool
+	pins     map[int]int
+	deferred map[int][]dirKey
+}
+
+func newRefDirectory() *refDirectory {
+	return &refDirectory{
+		holders:  make(map[string]map[uint64]map[int]bool),
+		pins:     make(map[int]int),
+		deferred: make(map[int][]dirKey),
+	}
+}
+
+func (d *refDirectory) register(replica int, group string, hash uint64) {
+	gm := d.holders[group]
+	if gm == nil {
+		gm = make(map[uint64]map[int]bool)
+		d.holders[group] = gm
+	}
+	if gm[hash] == nil {
+		gm[hash] = make(map[int]bool)
+	}
+	gm[hash][replica] = true
+}
+
+func (d *refDirectory) invalidate(replica int, group string, hash uint64) {
+	if d.pins[replica] > 0 {
+		d.deferred[replica] = append(d.deferred[replica], dirKey{group, hash})
+		return
+	}
+	delete(d.holders[group][hash], replica)
+}
+
+func (d *refDirectory) lookup(group string, hash uint64, exclude int) (int, bool) {
+	best, ok := 0, false
+	for r := range d.holders[group][hash] {
+		if r == exclude {
+			continue
+		}
+		if !ok || r < best {
+			best, ok = r, true
+		}
+	}
+	return best, ok
+}
+
+func (d *refDirectory) pin(replica int) { d.pins[replica]++ }
+
+func (d *refDirectory) unpin(replica int) {
+	if d.pins[replica] == 0 {
+		return
+	}
+	d.pins[replica]--
+	if d.pins[replica] > 0 {
+		return
+	}
+	delete(d.pins, replica)
+	for _, k := range d.deferred[replica] {
+		delete(d.holders[k.group][k.hash], replica)
+	}
+	delete(d.deferred, replica)
+}
+
+func (d *refDirectory) len() int {
+	n := 0
+	for _, gm := range d.holders {
+		for _, hs := range gm {
+			n += len(hs)
+		}
+	}
+	return n
+}
+
+// FuzzFleetDirectory drives random register/invalidate/lookup/pin/
+// unpin interleavings over a small key space against the map-based
+// reference, checking after every op that (a) every (group, hash,
+// exclude) lookup agrees, (b) Len agrees, and (c) the pinned-holder
+// exclusion invariant holds: an invalidation against a pinned replica
+// never removes its entries until the final Unpin.
+func FuzzFleetDirectory(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x23, 0x34, 0x40})
+	f.Add([]byte{0x30, 0x10, 0x11, 0x20, 0x40, 0x20})
+	f.Add([]byte{})
+	const (
+		replicas = 4
+		hashes   = 8
+	)
+	groups := []string{"a", "b"}
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		d := NewDirectory()
+		ref := newRefDirectory()
+		for _, b := range ops {
+			op := int(b >> 4 % 5)
+			replica := int(b % replicas)
+			h := uint64(b>>2) % hashes
+			g := groups[int(b>>1)%len(groups)]
+			switch op {
+			case 0:
+				d.Register(replica, g, []uint64{h})
+				ref.register(replica, g, h)
+			case 1:
+				d.Invalidate(replica, g, []uint64{h})
+				ref.invalidate(replica, g, h)
+			case 2:
+				// lookup correctness is checked exhaustively below
+			case 3:
+				d.Pin(replica)
+				ref.pin(replica)
+			case 4:
+				d.Unpin(replica)
+				ref.unpin(replica)
+			}
+			if got, want := d.Len(), ref.len(); got != want {
+				t.Fatalf("Len = %d, reference %d", got, want)
+			}
+			for _, gg := range groups {
+				for hh := uint64(0); hh < hashes; hh++ {
+					for ex := -1; ex < replicas; ex++ {
+						gr, gok := d.Lookup(gg, hh, ex)
+						wr, wok := ref.lookup(gg, hh, ex)
+						if gok != wok || (gok && gr != wr) {
+							t.Fatalf("Lookup(%s,%d,%d) = %d/%v, reference %d/%v",
+								gg, hh, ex, gr, gok, wr, wok)
+						}
+					}
+				}
+			}
+		}
+		// Drain every pin: deferred invalidations must all apply and
+		// the two models must still agree.
+		for r := 0; r < replicas; r++ {
+			for i := 0; i < len(ops)+1; i++ {
+				d.Unpin(r)
+				ref.unpin(r)
+			}
+		}
+		if got, want := d.Len(), ref.len(); got != want {
+			t.Fatalf("post-drain Len = %d, reference %d", got, want)
+		}
+		for _, gg := range groups {
+			for hh := uint64(0); hh < hashes; hh++ {
+				gr, gok := d.Lookup(gg, hh, -1)
+				wr, wok := ref.lookup(gg, hh, -1)
+				if gok != wok || (gok && gr != wr) {
+					t.Fatalf("post-drain Lookup(%s,%d) = %d/%v, reference %d/%v",
+						gg, hh, gr, gok, wr, wok)
+				}
+			}
+		}
+	})
+}

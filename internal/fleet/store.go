@@ -1,0 +1,122 @@
+package fleet
+
+import "jenga/internal/core"
+
+// Store is the cluster-wide KV store: one Directory spanning N replica
+// managers plus the peer-transfer path. Attach wires a replica's
+// manager into the directory (its tier notifies stores and evictions
+// through a TierObserver); Fetch runs the miss path — extend the local
+// prefix with peer-held blocks, export the pages from their holders,
+// import them into the local tier — and reports the tokens and wire
+// bytes moved so the engine can charge the peer link.
+type Store struct {
+	dir  *Directory
+	mgrs []core.TierManager
+	base []core.Manager // same replicas, plain Manager surface (Lookup)
+}
+
+// NewStore returns a store for n replicas with an empty directory.
+func NewStore(n int) *Store {
+	return &Store{
+		dir:  NewDirectory(),
+		mgrs: make([]core.TierManager, n),
+		base: make([]core.Manager, n),
+	}
+}
+
+// Directory exposes the store's directory (tests, stats).
+func (s *Store) Directory() *Directory { return s.dir }
+
+// Attach wires replica's manager into the store. Managers without the
+// TierManager capability (or without a configured host tier) simply
+// never contribute: Attach is a no-op and reports false.
+func (s *Store) Attach(replica int, mgr core.Manager) bool {
+	tm, ok := mgr.(core.TierManager)
+	if !ok || replica < 0 || replica >= len(s.mgrs) {
+		return false
+	}
+	tm.SetTierObserver(&dirObserver{dir: s.dir, replica: replica})
+	s.mgrs[replica] = tm
+	s.base[replica] = mgr
+	return true
+}
+
+// Fetch runs the fleet miss path for a sequence about to be admitted
+// on replica dst: if peers extend the locally cached prefix, export
+// the needed pages from their holders and import them into dst's host
+// tier, so dst's own claim restores them like locally spilled pages.
+// It returns the prefix tokens gained over the local lookup and the
+// wire bytes moved (both zero when peers add nothing). Transfer
+// sources are directory-pinned for the duration of their export, and
+// pinned tier pages are never exported — mid-restore state stays
+// private to its replica.
+func (s *Store) Fetch(dst int, seq *core.Sequence, now core.Tick) (tokens int, bytes int64) {
+	if dst < 0 || dst >= len(s.mgrs) || s.mgrs[dst] == nil {
+		return 0, 0
+	}
+	tm := s.mgrs[dst]
+	peer := func(group string, hash uint64) bool {
+		_, ok := s.dir.Lookup(group, hash, dst)
+		return ok
+	}
+	p, fetch := tm.LookupFleet(seq, peer)
+	if len(fetch) == 0 {
+		return 0, 0
+	}
+	local := s.base[dst].Lookup(seq)
+	if p <= local {
+		return 0, 0
+	}
+	// Batch the fetch list by (source replica, group) in first-seen
+	// order so each holder exports once per group.
+	type batchKey struct {
+		src   int
+		group string
+	}
+	var order []batchKey
+	batches := make(map[batchKey][]uint64)
+	for _, fb := range fetch {
+		src, ok := s.dir.Lookup(fb.Group, fb.Hash, dst)
+		if !ok {
+			continue
+		}
+		k := batchKey{src, fb.Group}
+		if _, seen := batches[k]; !seen {
+			order = append(order, k)
+		}
+		batches[k] = append(batches[k], fb.Hash)
+	}
+	for _, k := range order {
+		src := s.mgrs[k.src]
+		if src == nil {
+			continue
+		}
+		s.dir.Pin(k.src)
+		ps, ok := src.ExportPrefix(k.group, batches[k])
+		s.dir.Unpin(k.src)
+		if !ok {
+			continue
+		}
+		_, b := tm.ImportPrefix(ps, now)
+		bytes += b
+	}
+	if bytes == 0 {
+		return 0, 0
+	}
+	return p - local, bytes
+}
+
+// dirObserver adapts one replica's tier notifications onto the shared
+// directory.
+type dirObserver struct {
+	dir     *Directory
+	replica int
+}
+
+func (o *dirObserver) TierStored(group string, hashes []uint64) {
+	o.dir.Register(o.replica, group, hashes)
+}
+
+func (o *dirObserver) TierEvicted(group string, hashes []uint64) {
+	o.dir.Invalidate(o.replica, group, hashes)
+}

@@ -33,6 +33,13 @@ type Device struct {
 	// spilling a large page to host memory and restoring it back both
 	// ride this link. 0 falls back to DefaultPCIeBW.
 	PCIeBW float64
+	// LinkBW is effective device↔device interconnect bandwidth in
+	// bytes/second (NVLink within a node, InfiniBand across nodes,
+	// derated): the cost term of fleet peer transfers — fetching a
+	// peer replica's spilled KV pages or migrating a live request's
+	// pages both ride this link, not PCIe. 0 falls back to
+	// DefaultLinkBW.
+	LinkBW float64
 	// StepOverhead is the fixed per-step launch/scheduling cost.
 	StepOverhead time.Duration
 }
@@ -43,7 +50,8 @@ func H100() Device {
 	return Device{
 		Name: "H100", MemBytes: 80 << 30,
 		FLOPS: 600e12, MemBW: 2.7e12,
-		PCIeBW:       50e9, // PCIe gen5 ×16, derated
+		PCIeBW:       50e9,  // PCIe gen5 ×16, derated
+		LinkBW:       250e9, // NVLink 4 per-direction, derated
 		StepOverhead: 2 * time.Millisecond,
 	}
 }
@@ -55,6 +63,7 @@ func L4() Device {
 		Name: "L4", MemBytes: 24 << 30,
 		FLOPS: 80e12, MemBW: 250e9,
 		PCIeBW:       20e9, // PCIe gen4 ×16, derated
+		LinkBW:       10e9, // no NVLink: Ethernet/IB NIC class
 		StepOverhead: 2 * time.Millisecond,
 	}
 }
@@ -66,6 +75,12 @@ const DefaultReserveFraction = 0.08
 // DefaultPCIeBW is the host↔device bandwidth assumed for devices that
 // do not declare one (hand-built test devices): PCIe gen4-class.
 const DefaultPCIeBW = 25e9
+
+// DefaultLinkBW is the device↔device peer bandwidth assumed for
+// devices that do not declare one: NIC-class (IB/Ethernet), well below
+// NVLink, so hand-built test devices price peer transfers
+// conservatively.
+const DefaultLinkBW = 10e9
 
 // encoderWorkFactor scales vision-encoder FLOPs above the 2·params·
 // tokens GEMM estimate: high-resolution pipelines (anyres/multi-crop)
@@ -108,6 +123,11 @@ type StepWork struct {
 	// (tiered-offload spills plus restores, H2D and D2H combined);
 	// it rides the PCIe link, not HBM.
 	SwapBytes int64
+	// PeerBytes is the replica↔replica KV transfer volume of the step:
+	// fleet-store prefix fetches from a peer's host tier and live
+	// request migrations. It rides the device's peer link (NVLink/IB),
+	// not PCIe and not HBM.
+	PeerBytes int64
 	// CopyBytes is the device-to-device KV copy volume of the step:
 	// copy-on-write privatizations when forked branches diverge. It
 	// rides HBM (one read + one write per byte is folded into the
@@ -133,7 +153,7 @@ func (c *CostModel) StepTime(w StepWork) time.Duration {
 		eff = 1
 	}
 	tokens := float64(w.PrefillTokens + w.DecodeSeqs)
-	if tokens == 0 && w.EncoderTokens == 0 && w.SwapBytes == 0 && w.CopyBytes == 0 {
+	if tokens == 0 && w.EncoderTokens == 0 && w.SwapBytes == 0 && w.CopyBytes == 0 && w.PeerBytes == 0 {
 		return 0
 	}
 	var sec float64
@@ -154,12 +174,14 @@ func (c *CostModel) StepTime(w StepWork) time.Duration {
 		sec += encoderWorkFactor * 2 * float64(c.Spec.Vision.Params) * float64(w.EncoderTokens) / c.Dev.FLOPS
 	}
 	sec /= eff
-	// DMA transfers are not kernel work: neither PCIe swaps nor
-	// device-to-device CoW copies scale with kernel efficiency.
+	// DMA transfers are not kernel work: neither PCIe swaps, peer-link
+	// transfers nor device-to-device CoW copies scale with kernel
+	// efficiency.
 	if w.CopyBytes > 0 {
 		sec += float64(w.CopyBytes) / c.Dev.MemBW
 	}
-	return c.Dev.StepOverhead + c.Dev.PCIeTime(w.SwapBytes) + time.Duration(sec*float64(time.Second))
+	return c.Dev.StepOverhead + c.Dev.PCIeTime(w.SwapBytes) + c.Dev.LinkTime(w.PeerBytes) +
+		time.Duration(sec*float64(time.Second))
 }
 
 // PCIeTime converts a host↔device transfer volume into wire time on
@@ -173,6 +195,21 @@ func (d Device) PCIeTime(bytes int64) time.Duration {
 	bw := d.PCIeBW
 	if bw <= 0 {
 		bw = DefaultPCIeBW
+	}
+	return time.Duration(float64(bytes) / bw * float64(time.Second))
+}
+
+// LinkTime converts a replica↔replica transfer volume into wire time
+// on the device's peer interconnect (DefaultLinkBW when the device
+// declares none) — the charging rule for fleet prefix fetches and
+// live-migration page moves.
+func (d Device) LinkTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := d.LinkBW
+	if bw <= 0 {
+		bw = DefaultLinkBW
 	}
 	return time.Duration(float64(bytes) / bw * float64(time.Second))
 }

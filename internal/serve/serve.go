@@ -645,6 +645,14 @@ type Report struct {
 	RestoredTokens    int64
 	RecomputedTokens  int64
 	SwapOuts, SwapIns int64
+	// PeerHits/PeerTokens/PeerBytes mirror the engine's fleet-store
+	// accounting (peer-tier prefix fetches and their wire volume);
+	// Migrations counts live requests migrated in plus out through
+	// this server's engine. All zero outside a fleet deployment.
+	PeerHits   int
+	PeerTokens int64
+	PeerBytes  int64
+	Migrations int
 	// P99Restore is the p99 per-request PCIe restore time over
 	// finished streams — what a spilled-prefix hit costs at the tail.
 	P99Restore time.Duration
@@ -700,6 +708,10 @@ func (s *Server) Report() Report {
 		RecomputedTokens: er.RecomputedTokens,
 		SwapOuts:         er.SwapOuts,
 		SwapIns:          er.SwapIns,
+		PeerHits:         er.PeerHits,
+		PeerTokens:       er.PeerTokens,
+		PeerBytes:        er.PeerBytes,
+		Migrations:       er.MigratedIn + er.MigratedOut,
 	}
 	if len(er.PerRequest) > 0 {
 		restores := make([]time.Duration, 0, len(er.PerRequest))

@@ -259,6 +259,48 @@ func (g *Gen) PrefixGroups(groups, perGroup, prefixLen, suffixLen int) []Request
 	return reqs
 }
 
+// ChurnGroups generates the replica-churn workload: the same shared
+// prefixes as PrefixGroups (identical content seeds, so caches warmed
+// by one pattern serve the other), but with phase-shifted group
+// popularity. The stream divides into `phases` equal windows; in
+// window p the hot set is the groups with index ≡ p (mod phases), and
+// 80% of the window's requests draw uniformly from it while 20% draw
+// uniformly from all groups. Each phase shift re-concentrates a
+// different prefix subset, so under affinity routing the new phase's
+// requests land on replicas whose caches never served their group —
+// the miss-after-reroute case a fleet-wide KV store converts from a
+// recompute into a peer fetch. phases < 2 degrades to a single hot
+// set (no churn).
+func (g *Gen) ChurnGroups(groups, perGroup, prefixLen, suffixLen, phases int) []Request {
+	if phases < 1 {
+		phases = 1
+	}
+	total := groups * perGroup
+	reqs := make([]Request, 0, total)
+	for i := 0; i < total; i++ {
+		p := i * phases / total
+		// Hot groups in phase p are p, p+phases, p+2·phases, …
+		hot := 0
+		if p < groups {
+			hot = (groups-1-p)/phases + 1
+		}
+		var grp int
+		if hot > 0 && g.rng.Intn(5) != 0 {
+			grp = p + g.rng.Intn(hot)*phases
+		} else {
+			grp = g.rng.Intn(groups)
+		}
+		seed := int64(7_000_000 + grp)
+		prompt := append([]core.Token{}, textTokens(seed, 0, prefixLen)...)
+		prompt = append(prompt, textTokens(int64(g.id())*15485863, 0, suffixLen)...)
+		reqs = append(reqs, Request{
+			ID: g.id(), Group: seed, Prompt: prompt,
+			OutputLen: g.uniform(16, 64),
+		})
+	}
+	return reqs
+}
+
 // FanOut generates fan-out roots (parallel sampling, best-of-n, agentic
 // tree expansion): n requests, each with a unique prompt of promptLen
 // tokens that forks into branch streams once forkAfter output tokens

@@ -63,6 +63,7 @@ import (
 	"jenga/internal/cluster"
 	"jenga/internal/core"
 	"jenga/internal/engine"
+	"jenga/internal/fleet"
 	"jenga/internal/gpu"
 	"jenga/internal/model"
 	"jenga/internal/sched"
@@ -386,6 +387,36 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 var (
 	NewRouter         = cluster.NewRouter
 	ParseRouterPolicy = cluster.ParsePolicy
+)
+
+// Fleet memory surface (cluster-wide KV store and live request
+// migration): FleetPolicy on ClusterConfig.Fleet turns on the fleet
+// prefix store (peer replicas serve each other's spilled prefixes over
+// the interconnect instead of recomputing), live migration (draining
+// or rebalancing replicas hand running requests to survivors mid-
+// stream), or both. FleetDirectory is the underlying prefix directory
+// — which replica's host tier holds which prefix blocks — and PageSet
+// the serialized page-set currency replicas exchange (exported by
+// ExportPrefix, accepted by ImportPrefix on a tiered Manager).
+type (
+	// FleetPolicy configures the fleet store, migration and drain/
+	// rebalance schedule on a cluster.
+	FleetPolicy = cluster.FleetPolicy
+	// FleetDirectory maps prefix blocks to the replicas holding them.
+	FleetDirectory = fleet.Directory
+	// FleetStore couples a FleetDirectory to every replica's host
+	// tier via tier observers.
+	FleetStore = fleet.Store
+	// PageSet is a serializable set of host-tier pages for one prefix
+	// — the unit of peer transfer and migration state.
+	PageSet = core.PageSet
+)
+
+// NewFleetDirectory builds an empty fleet prefix directory;
+// NewFleetStore builds a store over n replicas.
+var (
+	NewFleetDirectory = fleet.NewDirectory
+	NewFleetStore     = fleet.NewStore
 )
 
 // PrefixHash hashes a prompt's first n tokens with the prefix-cache
