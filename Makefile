@@ -5,7 +5,7 @@ GO ?= go
 # Pinned staticcheck (matches the CI step; bump both together).
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race bench bench-json bench-smoke fuzz staticcheck fmt vet ci
+.PHONY: build test race bench bench-json bench-smoke chaos-smoke fuzz staticcheck fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -47,12 +47,24 @@ bench-json:
 		-rate 70 -prefix-len 1024 -slo-ttft 250ms -deadline 2s \
 		-drain-after 3s -host-gb 2 -kv-gb 0.25 \
 		-bench-json BENCH_serving.json
+	$(GO) run ./cmd/jengabench -faults -replicas 4 -requests 480 \
+		-rate 70 -prefix-len 1024 -slo-ttft 500ms -deadline 6s \
+		-host-gb 2 -kv-gb 0.25 \
+		-bench-json BENCH_serving.json
 	$(GO) run ./cmd/jengabench -bench-core -bench-json BENCH_core.json
 
 # Benchmark smoke: every benchmark must still run (one iteration each),
 # so the committed perf trajectory cannot rot.
 bench-smoke:
 	$(GO) test -run NONE -bench=. -benchtime=1x .
+
+# Chaos smoke (part of `make ci`): a short seeded crash-restart
+# schedule with peer-transfer faults runs under the race detector —
+# the recovery path (CrashOut/CrashReset, directory invalidation,
+# redispatch, bounded retry) must stay deterministic and race-free.
+chaos-smoke:
+	$(GO) run -race ./cmd/jengabench -faults -replicas 3 -requests 120 \
+		-rate 150 -prefix-len 512 -host-gb 1 -kv-gb 0.25
 
 # Timed fuzz over the core free pool, the host-tier/map-reference
 # differential, the fork/CoW lifecycle and the fleet-directory/
@@ -78,5 +90,5 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: vet build test race
+ci: vet build test race chaos-smoke
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi

@@ -79,6 +79,11 @@ func main() {
 		kvGB        = flag.Float64("kv-gb", 0, "per-replica KV budget override in GiB (0 = full device budget); small values make the stream memory-pressured")
 		benchJSON   = flag.String("bench-json", "", "write the stream-mode scorecard to this JSON file (BENCH_serving.json)")
 
+		faults        = flag.Bool("faults", false, "run the chaos benchmark: a seeded replica crash/restart plus peer-transfer faults on the churn stream, recovery off vs on (merges a chaos section into -bench-json)")
+		crashReplica  = flag.Int("crash-replica", -1, "chaos-mode replica to crash (-1 = the last)")
+		crashAt       = flag.Duration("crash-at", 0, "chaos-mode crash instant (0 = 40% through the arrival burst)")
+		restartAt     = flag.Duration("restart-at", 0, "chaos-mode restart instant (0 = 75% through the arrival burst)")
+		fetchFailRate = flag.Float64("fetch-fail-rate", 0.2, "chaos-mode per-attempt peer-transfer failure probability")
 		fleetStore    = flag.Bool("fleet-store", false, "run the fleet-store churn benchmark: cluster-wide KV store vs local recompute on a replica-churn stream (merges the fleet section's churn rows into -bench-json)")
 		migrate       = flag.Bool("migrate", false, "run the live-migration drain benchmark: replica scale-down served by shedding vs recompute-migration vs transfer-migration (merges the fleet section's drain rows into -bench-json)")
 		churnPhases   = flag.Int("churn-phases", 4, "fleet-mode popularity phases: group popularity shifts this many times across the stream")
@@ -112,6 +117,36 @@ func main() {
 		}
 		if err := runFanout(*modelName, *device, *fanPrompt, *fanAfter, *fanOutLen, *fanBranch,
 			*fanRoots, r, *kvGB, *seed, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *faults {
+		if *exp != "" || *list || *csv != "" || *stream || *fanout || *benchCore || *fleetStore || *migrate {
+			fmt.Fprintln(os.Stderr, "chaos mode (-faults) does not combine with -exp, -list, -csv, -stream, -fanout, -bench-core or the fleet modes")
+			os.Exit(1)
+		}
+		n := *replicas
+		if n <= 1 {
+			n = 4
+		}
+		r := *rate
+		if r <= 0 {
+			r = 300
+		}
+		hg := *hostGB
+		if hg <= 0 {
+			hg = 2 // the recovery story needs the tiers the store serves from
+		}
+		routerName := *router
+		if routerName == "all" {
+			routerName = "roundrobin"
+		}
+		if err := runChaos(n, routerName, *modelName, *device,
+			*requests, r, *groups, *prefixLen, *churnPhases, *seed,
+			*sloTTFT, *deadline, *crashReplica, *crashAt, *restartAt, *fetchFailRate,
+			hg, *kvGB, *benchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -322,10 +357,61 @@ type servingBench struct {
 	Policies []servingPolicyBench `json:"policies"`
 
 	// Fanout is the fan-out sharing scorecard (-fanout mode); Fleet the
-	// fleet-memory scorecard (-fleet-store/-migrate modes). Every mode
-	// rewrites its own section of the file and preserves the others'.
+	// fleet-memory scorecard (-fleet-store/-migrate modes); Chaos the
+	// fault-injection scorecard (-faults mode). Every mode rewrites its
+	// own section of the file and preserves the others'.
 	Fanout *fanoutBench `json:"fanout,omitempty"`
 	Fleet  *fleetBench  `json:"fleet,omitempty"`
+	Chaos  *chaosBench  `json:"chaos,omitempty"`
+}
+
+// chaosBench is the chaos section of BENCH_serving.json: the identical
+// seeded fault schedule — one replica crash and restart mid-burst plus
+// a peer-transfer failure rate — served with the recovery machinery
+// off and on, so the goodput, lost-request and tail-latency cost of a
+// crash (and what recovery buys back) is tracked across PRs.
+type chaosBench struct {
+	Model     string  `json:"model"`
+	Device    string  `json:"device"`
+	Replicas  int     `json:"replicas"`
+	Requests  int     `json:"requests"`
+	RatePerS  float64 `json:"rate_per_s"`
+	Groups    int     `json:"groups"`
+	PrefixLen int     `json:"prefix_len"`
+	Phases    int     `json:"phases"`
+	HostGB    float64 `json:"host_gb"`
+	KvGB      float64 `json:"kv_gb"`
+
+	CrashReplica  int     `json:"crash_replica"`
+	CrashAtMs     float64 `json:"crash_at_ms"`
+	RestartAtMs   float64 `json:"restart_at_ms"`
+	FetchFailRate float64 `json:"fetch_fail_rate"`
+	PlanSeed      int64   `json:"plan_seed"`
+
+	Rows []chaosRow `json:"rows"`
+}
+
+// chaosRow is one recovery variant's scorecard row.
+type chaosRow struct {
+	Mode               string  `json:"mode"`
+	ReqPerSec          float64 `json:"req_per_s"`
+	Goodput            float64 `json:"goodput_per_s"`
+	SLOAttainment      float64 `json:"slo_attainment"`
+	P50TTFTMs          float64 `json:"p50_ttft_ms"`
+	P99TTFTMs          float64 `json:"p99_ttft_ms"`
+	Finished           int     `json:"finished"`
+	Failed             int     `json:"failed"`
+	Shed               int     `json:"shed"`
+	LostRequests       int     `json:"lost_requests"`
+	Crashes            int     `json:"crashes"`
+	Restarts           int     `json:"restarts"`
+	Redispatched       int     `json:"redispatched"`
+	DirInvalidations   int     `json:"dir_invalidations"`
+	MigrationRollbacks int     `json:"migration_rollbacks"`
+	FetchRetries       int64   `json:"fetch_retries"`
+	FetchFailures      int64   `json:"fetch_failures"`
+	HitRate            float64 `json:"hit_rate"`
+	PeerBytes          int64   `json:"peer_bytes"`
 }
 
 // fleetBench is the fleet section of BENCH_serving.json: the
@@ -589,6 +675,7 @@ func runStream(replicas int, router, modelName, device string, requests int, rat
 	prev := loadServingBench(benchJSON)
 	out.Fanout = prev.Fanout
 	out.Fleet = prev.Fleet
+	out.Chaos = prev.Chaos
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -832,5 +919,124 @@ func runFleet(storeExp, migrateExp bool, replicas int, router, modelName, device
 		return err
 	}
 	fmt.Printf("wrote %s (fleet section)\n", benchJSON)
+	return nil
+}
+
+// runChaos runs the fault-injection benchmark: the churn workload with
+// a seeded replica crash/restart mid-burst and a peer-transfer failure
+// rate, served twice — recovery machinery off, then on — on the
+// identical plan. The printed scorecard and the chaos section of
+// -bench-json record what recovery buys: requests saved (lost → 0),
+// goodput recovered, and the tail-latency price of re-dispatching the
+// crashed replica's work.
+func runChaos(replicas int, router, modelName, device string,
+	requests int, rate float64, groups, prefixLen, phases int, seed int64,
+	sloTTFT, deadline time.Duration, crashReplica int, crashAt, restartAt time.Duration,
+	fetchFailRate, hostGB, kvGB float64, benchJSON string) error {
+	spec, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := parseDevice(device)
+	if err != nil {
+		return err
+	}
+	policy, err := jenga.ParseRouterOption(router)
+	if err != nil {
+		return err
+	}
+	if groups <= 0 {
+		groups = 4*replicas - 1
+	}
+	opt := bench.ChaosOptions{
+		FleetOptions: bench.FleetOptions{
+			Spec: spec, Device: dev, Replicas: replicas,
+			CapacityBytes: int64(kvGB * float64(1<<30)),
+			HostTierBytes: int64(hostGB * float64(1<<30)),
+			Router:        policy,
+			Requests:      requests, Rate: rate,
+			Groups: groups, PrefixLen: prefixLen, SuffixLen: 128, Phases: phases,
+			SLOTTFT: sloTTFT, Deadline: deadline, Seed: seed,
+		},
+		CrashReplica:  crashReplica,
+		CrashAt:       crashAt,
+		RestartAt:     restartAt,
+		FetchFailRate: fetchFailRate,
+	}
+	plan := opt.Plan()
+	ev := plan.Events
+	cb := chaosBench{
+		Model: spec.Name, Device: dev.Name, Replicas: replicas,
+		Requests: opt.RequestCount(), RatePerS: rate,
+		Groups: groups, PrefixLen: prefixLen, Phases: phases,
+		HostGB: hostGB, KvGB: kvGB,
+		CrashReplica:  ev[0].Replica,
+		CrashAtMs:     float64(ev[0].At) / float64(time.Millisecond),
+		RestartAtMs:   float64(ev[1].At) / float64(time.Millisecond),
+		FetchFailRate: fetchFailRate,
+		PlanSeed:      seed,
+	}
+	fmt.Printf("chaos: %d × %s on %s, %d requests at %.0f req/s; crash replica %d at %v, restart %v, transfer fail rate %.2f (plan %x)\n",
+		replicas, spec.Name, dev.Name, cb.Requests, rate,
+		ev[0].Replica, ev[0].At.Round(time.Millisecond), ev[1].At.Round(time.Millisecond),
+		fetchFailRate, plan.Fingerprint())
+	fmt.Printf("%-12s %8s %9s %9s %10s %10s %6s %6s %6s %7s %7s %7s\n",
+		"recovery", "req/s", "goodput", "slo-att", "p50 TTFT", "p99 TTFT", "lost", "shed", "fail", "redisp", "retry", "xfail")
+	for _, recover := range []bool{false, true} {
+		opt.Recover = recover
+		start := time.Now()
+		res, err := bench.RunChaos(opt)
+		if err != nil {
+			return err
+		}
+		mode := "off"
+		if recover {
+			mode = "on"
+		}
+		fmt.Printf("%-12s %8.1f %9.1f %8.1f%% %10s %10s %6d %6d %6d %7d %7d %7d  [%v wall]\n",
+			mode, res.ReqPerSec, res.Goodput, 100*res.SLOAttainment,
+			res.P50TTFT.Round(time.Millisecond), res.P99TTFT.Round(time.Millisecond),
+			res.LostRequests, res.Shed, res.Failed,
+			res.Redispatched, res.FetchRetries, res.FetchFailures,
+			time.Since(start).Round(time.Millisecond))
+		cb.Rows = append(cb.Rows, chaosRow{
+			Mode:               mode,
+			ReqPerSec:          res.ReqPerSec,
+			Goodput:            res.Goodput,
+			SLOAttainment:      res.SLOAttainment,
+			P50TTFTMs:          float64(res.P50TTFT) / float64(time.Millisecond),
+			P99TTFTMs:          float64(res.P99TTFT) / float64(time.Millisecond),
+			Finished:           res.Finished,
+			Failed:             res.Failed,
+			Shed:               res.Shed,
+			LostRequests:       res.LostRequests,
+			Crashes:            res.Crashes,
+			Restarts:           res.Restarts,
+			Redispatched:       res.Redispatched,
+			DirInvalidations:   res.DirInvalidations,
+			MigrationRollbacks: res.MigrationRollbacks,
+			FetchRetries:       res.FetchRetries,
+			FetchFailures:      res.FetchFailures,
+			HitRate:            res.HitRate,
+			PeerBytes:          res.PeerBytes,
+		})
+	}
+	off, on := cb.Rows[0], cb.Rows[1]
+	fmt.Printf("recovery saved %d requests (lost %d → %d) and %+.1f goodput req/s\n",
+		off.LostRequests-on.LostRequests, off.LostRequests, on.LostRequests,
+		on.Goodput-off.Goodput)
+	if benchJSON == "" {
+		return nil
+	}
+	sb := loadServingBench(benchJSON)
+	sb.Chaos = &cb
+	buf, err := json.MarshalIndent(sb, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (chaos section)\n", benchJSON)
 	return nil
 }

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"time"
+
+	"jenga/internal/chaos"
+	"jenga/internal/cluster"
+	"jenga/internal/engine"
+	"jenga/internal/workload"
+)
+
+// ChaosOptions configures one run of the chaos benchmark: the fleet
+// churn workload with a replica crash (and optional restart) injected
+// mid-burst, plus a transfer-fault rate on the peer link. jengabench's
+// -faults mode runs it twice — recovery off, recovery on — so
+// BENCH_serving.json records what the recovery machinery buys on an
+// identical fault schedule.
+type ChaosOptions struct {
+	FleetOptions
+	// CrashReplica is the replica the plan kills (default: the last).
+	CrashReplica int
+	// CrashAt and RestartAt anchor the crash and restart instants.
+	// Zero values derive them from the workload's arrival span: crash
+	// at 40% through the burst, restart at 75% — mid-burst at any
+	// request count or rate.
+	CrashAt, RestartAt time.Duration
+	// FetchFailRate is the per-attempt peer-transfer failure
+	// probability drawn from the plan's seeded stream.
+	FetchFailRate float64
+	// Recover toggles the recovery machinery (cluster.ChaosPolicy).
+	Recover bool
+}
+
+// Plan materializes the options' deterministic fault schedule against
+// the options' workload (the same schedule regardless of Recover, so
+// the two rows face identical faults).
+func (o ChaosOptions) Plan() *chaos.Plan {
+	crashAt, restartAt := o.CrashAt, o.RestartAt
+	if crashAt == 0 || restartAt == 0 {
+		first, last := workload.Span(ChurnWorkload(o.FleetOptions))
+		span := last - first
+		if crashAt == 0 {
+			crashAt = first + span*2/5
+		}
+		if restartAt == 0 {
+			restartAt = first + span*3/4
+		}
+	}
+	rep := o.CrashReplica
+	if rep <= 0 || rep >= o.Replicas {
+		rep = o.Replicas - 1
+	}
+	p := chaos.NewPlan(o.Seed).Crash(rep, crashAt).Restart(rep, restartAt)
+	p.FetchFailRate = o.FetchFailRate
+	return p
+}
+
+// RunChaos drives the options' churn workload through a fresh cluster
+// with the fault plan attached. The fleet store and migration are
+// always on — the chaos benchmark measures the recovery machinery, not
+// the fleet features — and only Recover differs between the scorecard
+// rows.
+func RunChaos(o ChaosOptions) (*cluster.Result, error) {
+	mode := engine.PreemptRecompute
+	if o.HostTierBytes > 0 {
+		mode = engine.PreemptSwap
+	}
+	c, err := cluster.New(cluster.Config{
+		Spec:          o.Spec,
+		Device:        o.Device,
+		Replicas:      o.Replicas,
+		CapacityBytes: o.CapacityBytes,
+		Policy:        o.Router,
+		SLOTTFT:       o.SLOTTFT,
+		HostTierBytes: o.HostTierBytes,
+		PreemptMode:   mode,
+		Fleet:         cluster.FleetPolicy{Store: true, Migrate: true},
+		Chaos:         cluster.ChaosPolicy{Plan: o.Plan(), Recover: o.Recover},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.ServeOnline(ChurnWorkload(o.FleetOptions))
+}

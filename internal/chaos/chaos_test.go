@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func samplePlan(seed int64) *Plan {
+	p := NewPlan(seed).
+		Crash(2, 3*time.Second).
+		Restart(2, 5*time.Second).
+		Degrade(1, time.Second, 4*time.Second, 0.25, 0.5).
+		Straggle(0, 2*time.Second, 6*time.Second, 3)
+	p.FetchFailRate = 0.2
+	p.MigrateFailRate = 0.1
+	return p
+}
+
+// Same seed, same construction → bit-identical schedule and decision
+// stream: equal fingerprints, equal point-event replay, equal failure
+// draws. This is the contract the cluster's chaos determinism rests
+// on.
+func TestPlanDeterminism(t *testing.T) {
+	a, b := samplePlan(42), samplePlan(42)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same-seed fingerprints differ: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() == samplePlan(43).Fingerprint() {
+		t.Fatal("different seeds produced the same fingerprint")
+	}
+	ca, cb := a.Start(), b.Start()
+	for {
+		ea, oka := ca.Peek()
+		eb, okb := cb.Peek()
+		if oka != okb || ea != eb {
+			t.Fatalf("point-event streams diverge: %v/%v vs %v/%v", ea, oka, eb, okb)
+		}
+		if !oka {
+			break
+		}
+		ca.Pop()
+		cb.Pop()
+	}
+	for i := 0; i < 10_000; i++ {
+		if ca.FailFetch() != cb.FailFetch() || ca.FailMigration() != cb.FailMigration() {
+			t.Fatalf("failure streams diverge at draw %d", i)
+		}
+	}
+}
+
+// The cursor replays only point events, in At order, regardless of
+// builder insertion order.
+func TestCursorPointEventOrder(t *testing.T) {
+	p := NewPlan(1).
+		Restart(0, 4*time.Second).
+		Degrade(0, 0, 10*time.Second, 0.5, 0.5).
+		Crash(1, 3*time.Second).
+		Crash(0, time.Second)
+	c := p.Start()
+	want := []struct {
+		kind    Kind
+		replica int
+		at      time.Duration
+	}{
+		{KindCrash, 0, time.Second},
+		{KindCrash, 1, 3 * time.Second},
+		{KindRestart, 0, 4 * time.Second},
+	}
+	for _, w := range want {
+		ev, ok := c.Peek()
+		if !ok || ev.Kind != w.kind || ev.Replica != w.replica || ev.At != w.at {
+			t.Fatalf("Peek = %+v/%v, want %+v", ev, ok, w)
+		}
+		c.Pop()
+	}
+	if _, ok := c.Peek(); ok {
+		t.Fatal("cursor not exhausted after all point events")
+	}
+}
+
+// Window factors hold over [At, Until), compound when overlapping, and
+// are nominal (1, 1, 1) everywhere else.
+func TestWindowFactors(t *testing.T) {
+	p := NewPlan(0).
+		Degrade(0, time.Second, 3*time.Second, 0.5, 0.25).
+		Degrade(0, 2*time.Second, 4*time.Second, 0.5, 1).
+		Straggle(0, 2*time.Second, 3*time.Second, 2)
+	if pc, lk, sl := p.Window(0, 0); pc != 1 || lk != 1 || sl != 1 {
+		t.Fatalf("before any window: got %v %v %v, want nominal", pc, lk, sl)
+	}
+	if pc, lk, sl := p.Window(0, 1500*time.Millisecond); pc != 0.5 || lk != 0.25 || sl != 1 {
+		t.Fatalf("single window: got %v %v %v", pc, lk, sl)
+	}
+	if pc, lk, sl := p.Window(0, 2500*time.Millisecond); pc != 0.25 || lk != 0.25 || sl != 2 {
+		t.Fatalf("overlap: got %v %v %v", pc, lk, sl)
+	}
+	if pc, lk, sl := p.Window(0, 3500*time.Millisecond); pc != 0.5 || lk != 1 || sl != 1 {
+		t.Fatalf("tail window: got %v %v %v", pc, lk, sl)
+	}
+	if pc, lk, sl := p.Window(1, 2500*time.Millisecond); pc != 1 || lk != 1 || sl != 1 {
+		t.Fatalf("other replica: got %v %v %v, want nominal", pc, lk, sl)
+	}
+	// Until is exclusive: the closing instant is already nominal.
+	if pc, _, _ := p.Window(0, 4*time.Second); pc != 1 {
+		t.Fatalf("at Until: pcie = %v, want 1", pc)
+	}
+}
+
+// Builder clamps: degrade factors outside (0, 1] mean nominal,
+// straggle below 1 means nominal.
+func TestFactorClamping(t *testing.T) {
+	p := NewPlan(0).
+		Degrade(0, 0, time.Second, -3, 7).
+		Straggle(0, 0, time.Second, 0.5)
+	if pc, lk, sl := p.Window(0, 0); pc != 1 || lk != 1 || sl != 1 {
+		t.Fatalf("clamped factors should be nominal, got %v %v %v", pc, lk, sl)
+	}
+}
+
+// Zero rates never fail; rate 1 always fails.
+func TestFailureRates(t *testing.T) {
+	p := NewPlan(7)
+	c := p.Start()
+	for i := 0; i < 1000; i++ {
+		if c.FailFetch() || c.FailMigration() {
+			t.Fatal("zero-rate plan produced a failure")
+		}
+	}
+	p2 := NewPlan(7)
+	p2.FetchFailRate = 1
+	c2 := p2.Start()
+	for i := 0; i < 1000; i++ {
+		if !c2.FailFetch() {
+			t.Fatal("rate-1 plan produced a success")
+		}
+	}
+	// A 20% rate lands loosely near 20% over a long stream.
+	p3 := NewPlan(7)
+	p3.FetchFailRate = 0.2
+	c3 := p3.Start()
+	fails := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if c3.FailFetch() {
+			fails++
+		}
+	}
+	if got := float64(fails) / n; got < 0.18 || got > 0.22 {
+		t.Fatalf("fail fraction = %v, want ≈ 0.2", got)
+	}
+}

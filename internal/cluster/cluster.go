@@ -103,6 +103,10 @@ type Config struct {
 	// migration for ServeOnline (see FleetPolicy). Zero value:
 	// disabled — no directory, no peer transfers, no migration.
 	Fleet FleetPolicy
+	// Chaos attaches a deterministic fault-injection plan and the
+	// recovery machinery (see ChaosPolicy). Zero value: no faults,
+	// bit-identical to a chaos-free cluster.
+	Chaos ChaosPolicy
 	// EventSink, when set, receives every replica engine's events
 	// tagged with the replica index. During the arrival loop events
 	// arrive serially; during the concurrent drain phase they arrive
@@ -202,6 +206,24 @@ type Result struct {
 	// Migrations counts live request migrations completed fleet-wide
 	// (the sum of per-replica MigratedIn).
 	Migrations int
+	// Crashes and Restarts count the chaos plan's replica failures
+	// applied during ServeOnline; Redispatched is how many in-flight
+	// requests from crashed replicas were recovered onto survivors,
+	// LostRequests how many died with their replica (recovery off, or
+	// no survivor to take them).
+	Crashes, Restarts int
+	Redispatched      int
+	LostRequests      int
+	// DirInvalidations counts fleet-directory entries dropped by crash
+	// recovery; MigrationRollbacks counts migrations that faulted
+	// mid-transfer and rolled back to their source replica.
+	DirInvalidations   int
+	MigrationRollbacks int
+	// FetchRetries, FetchFailures and FetchSkips are the fleet store's
+	// peer-transfer outcome counts for this run (zero without the
+	// store): retried attempts, holder batches that exhausted the
+	// retry bound, and batches skipped before any transfer.
+	FetchRetries, FetchFailures, FetchSkips int64
 	// PerReplica holds each replica's share, indexed by replica.
 	PerReplica []ReplicaResult
 }
@@ -213,6 +235,10 @@ type Cluster struct {
 	cfg     Config
 	router  Router
 	engines []*engine.Engine
+	// managers holds each replica's manager (same index as engines) —
+	// crash recovery needs the core.Crasher surface to cold-restart a
+	// replica's memory behind the engine's back.
+	managers []core.Manager
 	// store is the fleet-wide KV store (nil unless Config.Fleet.Store
 	// is on): one prefix directory spanning every replica's host tier
 	// plus the peer-transfer path (see internal/fleet).
@@ -276,6 +302,10 @@ func New(cfg Config) (*Cluster, error) {
 				scheduler = s
 			}
 		}
+		var faults engine.FaultInjector
+		if cfg.Chaos.Plan != nil {
+			faults = &replicaFaults{plan: cfg.Chaos.Plan, replica: i}
+		}
 		eng, err := engine.New(engine.Config{
 			Spec:           cfg.Spec,
 			Device:         cfg.Device,
@@ -286,6 +316,7 @@ func New(cfg Config) (*Cluster, error) {
 			Admission:      cfg.Admission,
 			Scheduler:      scheduler,
 			PreemptMode:    cfg.PreemptMode,
+			Faults:         faults,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d engine: %w", i, err)
@@ -296,6 +327,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.engines = append(c.engines, eng)
 	}
+	c.managers = managers
 	c.attachFleet(managers)
 	// 2 FLOPs per active parameter per token, compute-bound: the same
 	// first-order term the cost model charges per scheduled token.

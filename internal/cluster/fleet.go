@@ -58,8 +58,8 @@ func (c *Cluster) fleetFetch(rep int, id int64, prompt []core.Token) {
 	}
 	seq := &core.Sequence{ID: core.RequestID(id), PromptLen: len(prompt), Tokens: prompt}
 	now := core.Tick(c.engines[rep].SnapshotTotals().Step)
-	if tokens, bytes := c.store.Fetch(rep, seq, now); bytes > 0 {
-		c.engines[rep].RecordPeerFetch(tokens, bytes)
+	if fr := c.store.Fetch(rep, seq, now); fr.Bytes > 0 {
+		c.engines[rep].RecordPeerFetch(fr.Tokens, fr.Bytes)
 	}
 }
 
@@ -67,46 +67,66 @@ func (c *Cluster) fleetFetch(rep int, id int64, prompt []core.Token) {
 // swap out (the source tier keeps the pages and registers them in the
 // directory), fetch the pages into dst's tier when the store is on,
 // resume on dst through the ordinary re-admission path. Reports false
-// for unknown IDs.
-func (c *Cluster) migrate(src, dst int, id int64) bool {
+// for unknown IDs and for migrations the chaos plan fails mid-
+// transfer: those roll back whole to the source — the swapped pages
+// are still in its tier, so MigrateIn re-queues the request exactly
+// where it left — unless the source is draining out of service, in
+// which case the request is shed (its one terminal event).
+func (c *Cluster) migrate(st *onlineState, src, dst int, id int64) bool {
 	m, ok := c.engines[src].MigrateOut(id)
 	if !ok {
+		return false
+	}
+	if st != nil && st.cur != nil && st.cur.FailMigration() {
+		st.stats.rollbacks++
+		c.engines[src].MigrateIn(m)
+		if st.drained[src] {
+			c.engines[src].Shed(m.Req.ID)
+		}
 		return false
 	}
 	if c.store != nil && len(m.Tokens) > 0 {
 		seq := &core.Sequence{ID: core.RequestID(m.Req.ID), PromptLen: len(m.Req.Prompt), Tokens: m.Tokens}
 		now := core.Tick(c.engines[dst].SnapshotTotals().Step)
-		if tokens, bytes := c.store.Fetch(dst, seq, now); bytes > 0 {
-			c.engines[dst].RecordPeerFetch(tokens, bytes)
+		if fr := c.store.Fetch(dst, seq, now); fr.Bytes > 0 {
+			c.engines[dst].RecordPeerFetch(fr.Tokens, fr.Bytes)
 		}
 	}
 	c.engines[dst].MigrateIn(m)
 	return true
 }
 
-// coolestReplica returns the non-drained replica with the fewest
+// coolestReplica returns the in-service replica with the fewest
 // outstanding tokens (lowest index on ties), excluding `exclude`
-// (pass a negative to exclude none). Returns -1 when every candidate
-// is drained.
-func (c *Cluster) coolestReplica(drained []bool, exclude int) int {
-	best, bestOut := -1, int64(0)
-	for i, e := range c.engines {
-		if drained[i] || i == exclude {
-			continue
+// (pass a negative to exclude none). Healthy replicas are preferred;
+// sick ones (inside a degraded or straggler window) are a fallback;
+// dead and drained replicas are never candidates. Returns -1 when no
+// candidate is in service.
+func (c *Cluster) coolestReplica(st *onlineState, exclude int) int {
+	pick := func(want Health) int {
+		best, bestOut := -1, int64(0)
+		for i, e := range c.engines {
+			if st.drained[i] || i == exclude || st.health[i] != want {
+				continue
+			}
+			out := e.SnapshotTotals().OutstandingTokens
+			if best < 0 || out < bestOut {
+				best, bestOut = i, out
+			}
 		}
-		out := e.SnapshotTotals().OutstandingTokens
-		if best < 0 || out < bestOut {
-			best, bestOut = i, out
-		}
+		return best
 	}
-	return best
+	if best := pick(Healthy); best >= 0 {
+		return best
+	}
+	return pick(Sick)
 }
 
 // drainReplicas evacuates the fleet's tail replicas for scale-down:
 // every live request on a draining replica migrates to the coolest
 // surviving replica (Migrate) or is shed (otherwise). Runs serially
 // inside the arrival loop, so the evacuation is deterministic.
-func (c *Cluster) drainReplicas(drained []bool) {
+func (c *Cluster) drainReplicas(st *onlineState) {
 	n := len(c.engines)
 	k := c.cfg.Fleet.DrainReplicas
 	if k <= 0 {
@@ -116,13 +136,16 @@ func (c *Cluster) drainReplicas(drained []bool) {
 		k = n - 1
 	}
 	for d := n - k; d < n; d++ {
-		drained[d] = true
+		st.drained[d] = true
 	}
 	for d := n - k; d < n; d++ {
 		for _, cand := range c.engines[d].MigrationCandidates() {
 			if c.cfg.Fleet.Migrate {
-				if dst := c.coolestReplica(drained, -1); dst >= 0 {
-					c.migrate(d, dst, cand.ID)
+				if dst := c.coolestReplica(st, -1); dst >= 0 {
+					// A rolled-back migration sheds internally (the
+					// source is draining), so the request still ends
+					// with exactly one terminal either way.
+					c.migrate(st, d, dst, cand.ID)
 					continue
 				}
 			}
@@ -136,7 +159,7 @@ func (c *Cluster) drainReplicas(drained []bool) {
 // deterministic first candidate with the most remaining work, running
 // requests preferred (their KV rides the transfer path; queued ones
 // carry nothing).
-func (c *Cluster) rebalance(drained []bool) {
+func (c *Cluster) rebalance(st *onlineState) {
 	thr := c.cfg.Fleet.ImbalanceThreshold
 	if !c.cfg.Fleet.Migrate || thr <= 1 {
 		return
@@ -145,7 +168,7 @@ func (c *Cluster) rebalance(drained []bool) {
 	hot, hotOut := -1, int64(0)
 	live := 0
 	for i, e := range c.engines {
-		if drained[i] {
+		if st.drained[i] || st.health[i] == Dead {
 			continue
 		}
 		live++
@@ -173,8 +196,8 @@ func (c *Cluster) rebalance(drained []bool) {
 	if victim < 0 {
 		return
 	}
-	if dst := c.coolestReplica(drained, hot); dst >= 0 {
-		c.migrate(hot, dst, victim)
+	if dst := c.coolestReplica(st, hot); dst >= 0 {
+		c.migrate(st, hot, dst, victim)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"jenga/internal/engine"
+	"jenga/internal/fleet"
 	"jenga/internal/workload"
 )
 
@@ -19,9 +20,19 @@ import (
 // policy may still shed it. After the last arrival the replicas drain
 // concurrently.
 //
+// When a chaos plan is attached (Config.Chaos), its point events are
+// woven into the same serial loop: before each arrival every crash and
+// restart with an earlier timestamp is applied at its exact instant —
+// all replicas advance to the event time first — so the schedule is
+// reproducible to the step. Degrade and straggler windows stretch the
+// affected replica's steps through the engine's fault hook, routing
+// falls over from dead and sick replicas, and with Chaos.Recover the
+// crashed replicas' requests re-dispatch to survivors.
+//
 // The whole drive is deterministic: arrivals are processed serially in
-// time order, each replica's engine is deterministic, and the drain
-// phase only runs already-placed work.
+// time order, each replica's engine is deterministic, the chaos plan
+// is a pure function of its seed, and the drain phase only runs
+// already-placed work.
 func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
 	if r, ok := c.router.(resettable); ok {
 		r.reset()
@@ -37,16 +48,28 @@ func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
 	stream := append([]workload.Request(nil), reqs...)
 	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Arrival < stream[j].Arrival })
 
-	// Fleet state for this pass: which replicas have been drained for
-	// scale-down, and whether the drain already fired.
-	drained := make([]bool, n)
+	// Fleet state for this pass: scale-down drains, chaos health, and
+	// the plan cursor. drainFired latches the one-shot scale-down.
+	st := newOnlineState(n, c.cfg.Chaos)
 	drainFired := false
+	var storeBase fleet.StoreStats
+	if c.store != nil {
+		storeBase = c.store.Stats()
+		if st.cur != nil {
+			c.store.SetFaults(st.cur, c.cfg.Chaos.attempts())
+			defer c.store.SetFaults(nil, 1)
+		}
+	}
 
 	lastArrival := time.Duration(0)
 	for i := range stream {
 		r := &stream[i]
-		// Advance every replica to the arrival instant so routing sees
+		// Apply any crash/restart scheduled before this arrival, then
+		// advance every replica to the arrival instant so routing sees
 		// the state an online router would.
+		if err := c.applyChaos(st, r.Arrival); err != nil {
+			return nil, err
+		}
 		for j, e := range c.engines {
 			if err := e.AdvanceTo(r.Arrival); err != nil {
 				return nil, fmt.Errorf("cluster: replica %d: %w", j, err)
@@ -63,6 +86,7 @@ func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
 			}
 		}
 		lastArrival = r.Arrival
+		st.refreshHealth(c.cfg.Chaos.Plan, r.Arrival)
 		for j, e := range c.engines {
 			// Aggregate-only usage: routers read totals, and this runs
 			// per replica per arrival.
@@ -71,23 +95,25 @@ func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
 			loads[j].Usage = snap.Usage
 			loads[j].QueueDepth = snap.Pending + snap.Waiting
 			loads[j].OutstandingTokens = snap.OutstandingTokens
+			loads[j].Health = st.health[j]
 		}
 		// Scale-down: at the first arrival past the drain deadline the
 		// tail replicas evacuate — live requests migrate to survivors
 		// (Fleet.Migrate) or shed — and stop receiving new work.
 		if c.cfg.Fleet.DrainAfter > 0 && !drainFired && r.Arrival >= c.cfg.Fleet.DrainAfter {
 			drainFired = true
-			c.drainReplicas(drained)
+			c.drainReplicas(st)
 		}
 		rep := c.router.Route(r, loads)
 		if rep < 0 || rep >= n {
 			rep = 0 // defensive: a broken custom router must not panic the run
 		}
-		if drained[rep] {
-			// The router's pick is out of service: fall over to the
-			// coolest surviving replica (deterministic — serial loop,
-			// lowest index on ties).
-			if alt := c.coolestReplica(drained, -1); alt >= 0 {
+		if st.drained[rep] || st.health[rep] != Healthy {
+			// The router's pick is out of service (drained, dead, or
+			// inside a fault window): fall over to the coolest healthy
+			// survivor (deterministic — serial loop, lowest index on
+			// ties). With nowhere better to go the pick stands.
+			if alt := c.coolestReplica(st, -1); alt >= 0 {
 				rep = alt
 			}
 		}
@@ -104,7 +130,16 @@ func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
 		loads[rep].Outstanding += float64(work)
 		// Imbalance rebalancing: at most one migration per arrival,
 		// hottest surviving replica to coolest.
-		c.rebalance(drained)
+		c.rebalance(st)
+	}
+
+	// Apply every remaining chaos point event (crashes scheduled after
+	// the last arrival) before the concurrent drain: the events mutate
+	// shared fleet state and must stay inside the serial phase.
+	if st.cur != nil {
+		if err := c.applyChaos(st, 1<<62); err != nil {
+			return nil, err
+		}
 	}
 
 	// Drain concurrently: all requests are placed, replicas are
@@ -129,5 +164,18 @@ func (c *Cluster) ServeOnline(reqs []workload.Request) (*Result, error) {
 			return nil, err
 		}
 	}
-	return c.aggregate(loads, results, groupCounts(reqs)), nil
+	out := c.aggregate(loads, results, groupCounts(reqs))
+	out.Crashes = st.stats.crashes
+	out.Restarts = st.stats.restarts
+	out.Redispatched = st.stats.redispatched
+	out.LostRequests = st.stats.lost
+	out.DirInvalidations = st.stats.dirInvalidations
+	out.MigrationRollbacks = st.stats.rollbacks
+	if c.store != nil {
+		ss := c.store.Stats()
+		out.FetchRetries = ss.Retries - storeBase.Retries
+		out.FetchFailures = ss.Failed - storeBase.Failed
+		out.FetchSkips = ss.Skipped - storeBase.Skipped
+	}
+	return out, nil
 }

@@ -83,6 +83,11 @@ type Load struct {
 	// OutstandingTokens is the replica's live admitted-but-unserved
 	// work: remaining prompt plus remaining output tokens.
 	OutstandingTokens int64
+	// Health is the replica's live health under a chaos plan (online
+	// serving; always Healthy without one). Routers may read it to
+	// avoid sick replicas; the cluster itself falls requests over when
+	// a router picks a dead or sick one.
+	Health Health
 }
 
 // Router decides which replica serves each request. Route is called

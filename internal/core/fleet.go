@@ -33,6 +33,16 @@ func (m *Jenga) SetTierObserver(obs TierObserver) {
 	}
 }
 
+// NotePeerFetch records a fleet fetch's per-holder skip and failure
+// counts into this (destination) tier's stats — pure observability,
+// no state change. A no-op without a tier.
+func (m *Jenga) NotePeerFetch(skipped, failed int64) {
+	if m.host != nil {
+		m.host.stats.PeerSkips += skipped
+		m.host.stats.PeerFails += failed
+	}
+}
+
 // PageBlock is one block of a serialized host-tier page: its identity
 // and (for backed arenas) contents, the wire form of a spilled block.
 type PageBlock struct {

@@ -79,6 +79,12 @@ type TierStats struct {
 	// out of SwapOuts/SpilledBytes: it rides the peer link, not PCIe.
 	PeerExports, PeerImports         int64
 	PeerExportBytes, PeerImportBytes int64
+	// PeerSkips and PeerFails count fleet fetch batches whose holder
+	// contributed nothing to this (destination) tier: skipped — the
+	// holder had nothing left to export by transfer time — or failed —
+	// the transfer faulted past its retry budget. Recorded through
+	// NotePeerFetch so partial fetches are observable, never silent.
+	PeerSkips, PeerFails int64
 }
 
 // hostTier is the byte-budgeted second memory tier.

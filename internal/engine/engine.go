@@ -135,11 +135,31 @@ type Config struct {
 	// PreemptMode selects recompute- or swap-based preemption
 	// (default recompute, the golden-pinned historical behavior).
 	PreemptMode PreemptMode
+	// Faults, when set, is consulted before every executed step: the
+	// returned factors scale the step's PCIe/peer-link DMA terms and
+	// its total duration (fault injection's degraded-link windows and
+	// slow-replica stragglers — see internal/chaos). Nil, the
+	// default, leaves every step's cost untouched.
+	Faults FaultInjector
 	// SampleEvery records a memory-usage sample every N steps
 	// (0 disables the timeline).
 	SampleEvery int
 	// MaxSteps aborts runaway simulations. Default 2_000_000.
 	MaxSteps int
+}
+
+// StepFault scales one executed step's cost: PCIe and Link in (0, 1]
+// degrade the respective link bandwidths, Slow ≥ 1 stretches the
+// whole step (the straggler). Zero fields mean "no fault".
+type StepFault struct {
+	PCIe, Link, Slow float64
+}
+
+// FaultInjector supplies the fault factors in effect at a simulated
+// instant. Implementations must be deterministic functions of the
+// clock — the engine consults them on every executed step.
+type FaultInjector interface {
+	StepFault(clock time.Duration) StepFault
 }
 
 // MemSample is one point of the Fig. 16 memory timeline.
@@ -735,6 +755,12 @@ func (e *Engine) runStep() bool {
 		work.PeerBytes += e.pendingPeerBytes
 		e.peerBytes += e.pendingPeerBytes
 		e.pendingPeerBytes = 0
+	}
+	// Fault windows in effect at this instant (degraded links,
+	// stragglers) scale the step's DMA terms and duration.
+	if e.cfg.Faults != nil {
+		f := e.cfg.Faults.StepFault(e.clock)
+		work.PCIeFactor, work.LinkFactor, work.TimeFactor = f.PCIe, f.Link, f.Slow
 	}
 	e.clock += e.cost.StepTime(work)
 	e.decodeTimeline = append(e.decodeTimeline, decodeBatch)

@@ -174,6 +174,47 @@ func (e *Engine) MigrateIn(m Migrated) {
 	e.emit(EventQueued, r)
 }
 
+// CrashOut simulates the replica process dying: every live request —
+// running, waiting, pending, in that deterministic order — is
+// extracted with its progress reset to the prompt, because its KV and
+// generated state died with the device. Unlike MigrateOut nothing is
+// swapped out (there is no process left to serialize pages) and no
+// events are emitted (a crashed process emits nothing); the cluster
+// decides whether the extracted requests are re-dispatched to
+// survivors — recompute from the prompt; EverComputed is preserved so
+// the survivor's recompute counts as RecomputedTokens, the crash's
+// waste — or counted lost. The caller owns wiping the manager
+// (core.Crasher); CrashOut only empties the engine's queues.
+func (e *Engine) CrashOut() []Migrated {
+	out := make([]Migrated, 0, len(e.running)+len(e.waiting)+len(e.pending))
+	extract := func(r *run, started bool) {
+		out = append(out, Migrated{
+			Req:            r.req,
+			Tokens:         append([]core.Token(nil), r.req.Prompt...),
+			EverComputed:   r.everComputed,
+			RestoredTokens: r.restoredTokens,
+			RestoredBytes:  r.restoredBytes,
+			FirstToken:     r.firstToken,
+			Started:        started,
+			ForkDone:       r.forkDone,
+		})
+	}
+	for _, r := range e.running {
+		extract(r, true)
+	}
+	for _, r := range e.waiting {
+		extract(r, true)
+	}
+	for _, r := range e.pending {
+		extract(r, false)
+	}
+	e.running = nil
+	e.waiting = nil
+	e.pending = e.pending[:0]
+	e.pendingPeerBytes = 0
+	return out
+}
+
 // Shed drops the live request with the given ID as if the admission
 // policy had rejected it — the no-migration baseline for replica
 // drain. Running requests release their KV cache-preservingly.

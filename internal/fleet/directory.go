@@ -31,8 +31,8 @@ type Directory struct {
 	holders map[string]map[uint64][]int // group → hash → sorted replica IDs
 	pins    map[int]int                 // replica → pin depth
 	// deferred holds invalidations that arrived while their replica
-	// was pinned; they apply at the final Unpin.
-	deferred map[int][]dirKey
+	// was pinned; they apply in arrival order at the final Unpin.
+	deferred map[int][]deferredInv
 }
 
 type dirKey struct {
@@ -40,12 +40,19 @@ type dirKey struct {
 	hash  uint64
 }
 
+// deferredInv is one pin-deferred invalidation: a single block, or —
+// for a crash arriving mid-export — the holder's entire entry set.
+type deferredInv struct {
+	key dirKey
+	all bool
+}
+
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
 	return &Directory{
 		holders:  make(map[string]map[uint64][]int),
 		pins:     make(map[int]int),
-		deferred: make(map[int][]dirKey),
+		deferred: make(map[int][]deferredInv),
 	}
 }
 
@@ -72,13 +79,56 @@ func (d *Directory) Invalidate(replica int, group string, hashes []uint64) {
 	defer d.mu.Unlock()
 	if d.pins[replica] > 0 {
 		for _, h := range hashes {
-			d.deferred[replica] = append(d.deferred[replica], dirKey{group, h})
+			d.deferred[replica] = append(d.deferred[replica], deferredInv{key: dirKey{group, h}})
 		}
 		return
 	}
 	for _, h := range hashes {
 		d.remove(replica, group, h)
 	}
+}
+
+// InvalidateHolder removes every entry naming replica as a holder —
+// the crash path: the replica's tier died with its process, so each
+// of its entries is dangling. While the replica is pinned (an export
+// in flight) the wipe is deferred to the final Unpin, ordered after
+// any invalidations deferred before it. Returns the number of entries
+// removed immediately (a deferred wipe reports 0 and applies later).
+func (d *Directory) InvalidateHolder(replica int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pins[replica] > 0 {
+		d.deferred[replica] = append(d.deferred[replica], deferredInv{all: true})
+		return 0
+	}
+	return d.removeHolder(replica)
+}
+
+// removeHolder drops replica from every holder list, returning the
+// entry count removed. Caller holds the mutex.
+func (d *Directory) removeHolder(replica int) int {
+	n := 0
+	for g, gm := range d.holders {
+		for h, hs := range gm {
+			for i, r := range hs {
+				if r != replica {
+					continue
+				}
+				n++
+				hs = append(hs[:i], hs[i+1:]...)
+				if len(hs) == 0 {
+					delete(gm, h)
+				} else {
+					gm[h] = hs
+				}
+				break
+			}
+		}
+		if len(gm) == 0 {
+			delete(d.holders, g)
+		}
+	}
+	return n
 }
 
 // Lookup returns the lowest-numbered holder of (group, hash) other
@@ -116,10 +166,33 @@ func (d *Directory) Unpin(replica int) {
 		return
 	}
 	delete(d.pins, replica)
-	for _, k := range d.deferred[replica] {
-		d.remove(replica, k.group, k.hash)
+	for _, inv := range d.deferred[replica] {
+		if inv.all {
+			d.removeHolder(replica)
+		} else {
+			d.remove(replica, inv.key.group, inv.key.hash)
+		}
 	}
 	delete(d.deferred, replica)
+}
+
+// HolderLen returns the number of live entries naming replica as a
+// holder — the "no directory entry points at a dead holder" recovery
+// invariant's test surface.
+func (d *Directory) HolderLen(replica int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, gm := range d.holders {
+		for _, hs := range gm {
+			for _, r := range hs {
+				if r == replica {
+					n++
+				}
+			}
+		}
+	}
+	return n
 }
 
 // Len returns the number of live (group, hash, holder) entries —

@@ -9,14 +9,21 @@ import "testing"
 type refDirectory struct {
 	holders  map[string]map[uint64]map[int]bool
 	pins     map[int]int
-	deferred map[int][]dirKey
+	deferred map[int][]refInv
+}
+
+// refInv mirrors deferredInv: one deferred block invalidation, or a
+// deferred holder-wide wipe (crash while pinned).
+type refInv struct {
+	key dirKey
+	all bool
 }
 
 func newRefDirectory() *refDirectory {
 	return &refDirectory{
 		holders:  make(map[string]map[uint64]map[int]bool),
 		pins:     make(map[int]int),
-		deferred: make(map[int][]dirKey),
+		deferred: make(map[int][]refInv),
 	}
 }
 
@@ -34,10 +41,26 @@ func (d *refDirectory) register(replica int, group string, hash uint64) {
 
 func (d *refDirectory) invalidate(replica int, group string, hash uint64) {
 	if d.pins[replica] > 0 {
-		d.deferred[replica] = append(d.deferred[replica], dirKey{group, hash})
+		d.deferred[replica] = append(d.deferred[replica], refInv{key: dirKey{group, hash}})
 		return
 	}
 	delete(d.holders[group][hash], replica)
+}
+
+func (d *refDirectory) invalidateHolder(replica int) {
+	if d.pins[replica] > 0 {
+		d.deferred[replica] = append(d.deferred[replica], refInv{all: true})
+		return
+	}
+	d.wipeHolder(replica)
+}
+
+func (d *refDirectory) wipeHolder(replica int) {
+	for _, gm := range d.holders {
+		for _, hs := range gm {
+			delete(hs, replica)
+		}
+	}
 }
 
 func (d *refDirectory) lookup(group string, hash uint64, exclude int) (int, bool) {
@@ -64,10 +87,26 @@ func (d *refDirectory) unpin(replica int) {
 		return
 	}
 	delete(d.pins, replica)
-	for _, k := range d.deferred[replica] {
-		delete(d.holders[k.group][k.hash], replica)
+	for _, inv := range d.deferred[replica] {
+		if inv.all {
+			d.wipeHolder(replica)
+		} else {
+			delete(d.holders[inv.key.group][inv.key.hash], replica)
+		}
 	}
 	delete(d.deferred, replica)
+}
+
+func (d *refDirectory) holderLen(replica int) int {
+	n := 0
+	for _, gm := range d.holders {
+		for _, hs := range gm {
+			if hs[replica] {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 func (d *refDirectory) len() int {
@@ -81,14 +120,17 @@ func (d *refDirectory) len() int {
 }
 
 // FuzzFleetDirectory drives random register/invalidate/lookup/pin/
-// unpin interleavings over a small key space against the map-based
-// reference, checking after every op that (a) every (group, hash,
-// exclude) lookup agrees, (b) Len agrees, and (c) the pinned-holder
-// exclusion invariant holds: an invalidation against a pinned replica
+// unpin/crash interleavings over a small key space against the
+// map-based reference, checking after every op that (a) every
+// (group, hash, exclude) lookup agrees, (b) Len agrees, and (c) the
+// pinned-holder exclusion invariant holds: an invalidation — single
+// block or a crash's holder-wide wipe — against a pinned replica
 // never removes its entries until the final Unpin.
 func FuzzFleetDirectory(f *testing.F) {
 	f.Add([]byte{0x01, 0x12, 0x23, 0x34, 0x40})
 	f.Add([]byte{0x30, 0x10, 0x11, 0x20, 0x40, 0x20})
+	f.Add([]byte{0x01, 0x05, 0x51})             // register two holders, crash one
+	f.Add([]byte{0x31, 0x01, 0x51, 0x01, 0x41}) // crash deferred behind a pin
 	f.Add([]byte{})
 	const (
 		replicas = 4
@@ -99,7 +141,7 @@ func FuzzFleetDirectory(f *testing.F) {
 		d := NewDirectory()
 		ref := newRefDirectory()
 		for _, b := range ops {
-			op := int(b >> 4 % 5)
+			op := int(b >> 4 % 6)
 			replica := int(b % replicas)
 			h := uint64(b>>2) % hashes
 			g := groups[int(b>>1)%len(groups)]
@@ -118,9 +160,17 @@ func FuzzFleetDirectory(f *testing.F) {
 			case 4:
 				d.Unpin(replica)
 				ref.unpin(replica)
+			case 5:
+				d.InvalidateHolder(replica)
+				ref.invalidateHolder(replica)
 			}
 			if got, want := d.Len(), ref.len(); got != want {
 				t.Fatalf("Len = %d, reference %d", got, want)
+			}
+			for r := 0; r < replicas; r++ {
+				if got, want := d.HolderLen(r), ref.holderLen(r); got != want {
+					t.Fatalf("HolderLen(%d) = %d, reference %d", r, got, want)
+				}
 			}
 			for _, gg := range groups {
 				for hh := uint64(0); hh < hashes; hh++ {

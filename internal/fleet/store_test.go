@@ -75,9 +75,20 @@ func TestStoreFetchMovesPrefix(t *testing.T) {
 	if p := mgrs[1].Lookup(probe); p != 0 {
 		t.Fatalf("replica 1 local lookup = %d, want 0", p)
 	}
-	tokens, bytes := s.Fetch(1, probe, 3)
-	if tokens < 32 || bytes == 0 {
-		t.Fatalf("Fetch = %d tokens/%d bytes, want ≥ 32 tokens and > 0 bytes", tokens, bytes)
+	fr := s.Fetch(1, probe, 3)
+	if fr.Tokens < 32 || fr.Bytes == 0 {
+		t.Fatalf("Fetch = %d tokens/%d bytes, want ≥ 32 tokens and > 0 bytes", fr.Tokens, fr.Bytes)
+	}
+	if fr.Fetched == 0 || fr.Failed != 0 || len(fr.Holders) == 0 {
+		t.Fatalf("fetch report: %+v", fr)
+	}
+	for _, hr := range fr.Holders {
+		if hr.Outcome != FetchOK || hr.Attempts != 1 || hr.Holder != 0 {
+			t.Fatalf("holder report: %+v", hr)
+		}
+	}
+	if fr.Imported != fr.Bytes {
+		t.Fatalf("fault-free fetch: imported %d ≠ wire %d", fr.Imported, fr.Bytes)
 	}
 	if p := mgrs[1].Lookup(probe); p < 32 {
 		t.Fatalf("post-fetch local lookup = %d, want ≥ 32", p)
@@ -87,11 +98,11 @@ func TestStoreFetchMovesPrefix(t *testing.T) {
 	}
 
 	// A second fetch for the same prefix is a no-op: it is local now.
-	if tokens, bytes := s.Fetch(1, probe, 4); tokens != 0 || bytes != 0 {
-		t.Fatalf("repeat Fetch = %d/%d, want 0/0", tokens, bytes)
+	if fr := s.Fetch(1, probe, 4); fr.Tokens != 0 || fr.Bytes != 0 {
+		t.Fatalf("repeat Fetch = %d/%d, want 0/0", fr.Tokens, fr.Bytes)
 	}
 	// Unattached or out-of-range destinations are safe no-ops.
-	if tokens, bytes := s.Fetch(7, probe, 5); tokens != 0 || bytes != 0 {
-		t.Fatalf("out-of-range Fetch = %d/%d, want 0/0", tokens, bytes)
+	if fr := s.Fetch(7, probe, 5); fr.Tokens != 0 || fr.Bytes != 0 {
+		t.Fatalf("out-of-range Fetch = %d/%d, want 0/0", fr.Tokens, fr.Bytes)
 	}
 }

@@ -1,0 +1,48 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"jenga/internal/model"
+)
+
+// Fault factors: zero and one are bit-identical to the unfactored
+// step, degraded link factors stretch exactly their own DMA term, and
+// the straggler factor stretches the whole step.
+func TestStepTimeFaultFactors(t *testing.T) {
+	cm := &CostModel{Dev: H100(), Spec: model.Llama31_8B()}
+	base := StepWork{PrefillTokens: 512, DecodeSeqs: 8, KVReadBytes: 1 << 20,
+		SwapBytes: 64 << 20, PeerBytes: 32 << 20}
+	nominal := cm.StepTime(base)
+
+	zeroed := base // zero factors are the untouched zero value
+	if got := cm.StepTime(zeroed); got != nominal {
+		t.Fatalf("zero factors changed StepTime: %v vs %v", got, nominal)
+	}
+	ones := base
+	ones.PCIeFactor, ones.LinkFactor, ones.TimeFactor = 1, 1, 1
+	if got := cm.StepTime(ones); got != nominal {
+		t.Fatalf("unit factors changed StepTime: %v vs %v", got, nominal)
+	}
+
+	// Halved PCIe bandwidth adds exactly one extra nominal PCIe term.
+	degraded := base
+	degraded.PCIeFactor = 0.5
+	if got, want := cm.StepTime(degraded), nominal+cm.Dev.PCIeTime(base.SwapBytes); got != want {
+		t.Fatalf("PCIeFactor 0.5: got %v, want %v", got, want)
+	}
+	// Quartered peer-link bandwidth adds three extra link terms.
+	slowLink := base
+	slowLink.LinkFactor = 0.25
+	if got, want := cm.StepTime(slowLink), nominal+3*cm.Dev.LinkTime(base.PeerBytes); got != want {
+		t.Fatalf("LinkFactor 0.25: got %v, want %v", got, want)
+	}
+	// The straggler multiplies everything, overhead included.
+	slow := base
+	slow.TimeFactor = 3
+	got := cm.StepTime(slow)
+	if want := time.Duration(3 * float64(nominal)); got != want {
+		t.Fatalf("TimeFactor 3: got %v, want %v", got, want)
+	}
+}

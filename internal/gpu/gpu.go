@@ -137,6 +137,12 @@ type StepWork struct {
 	// native kernel. The GCD-page ablation uses < 1 (§4.4: GCD paging
 	// forces non-contiguous KV layouts that efficient kernels reject).
 	KernelEfficiency float64
+	// PCIeFactor and LinkFactor scale the respective link bandwidths
+	// for this step — fault injection's degraded-link windows. 0 or 1
+	// means nominal; 0.25 means the transfer takes 4× as long.
+	// TimeFactor multiplies the whole step's duration (the
+	// slow-replica straggler); 0 or 1 means nominal.
+	PCIeFactor, LinkFactor, TimeFactor float64
 }
 
 // CostModel turns StepWork into simulated time for one model on one
@@ -180,8 +186,19 @@ func (c *CostModel) StepTime(w StepWork) time.Duration {
 	if w.CopyBytes > 0 {
 		sec += float64(w.CopyBytes) / c.Dev.MemBW
 	}
-	return c.Dev.StepOverhead + c.Dev.PCIeTime(w.SwapBytes) + c.Dev.LinkTime(w.PeerBytes) +
-		time.Duration(sec*float64(time.Second))
+	pcie := c.Dev.PCIeTime(w.SwapBytes)
+	if w.PCIeFactor > 0 && w.PCIeFactor != 1 {
+		pcie = time.Duration(float64(pcie) / w.PCIeFactor)
+	}
+	link := c.Dev.LinkTime(w.PeerBytes)
+	if w.LinkFactor > 0 && w.LinkFactor != 1 {
+		link = time.Duration(float64(link) / w.LinkFactor)
+	}
+	t := c.Dev.StepOverhead + pcie + link + time.Duration(sec*float64(time.Second))
+	if w.TimeFactor > 0 && w.TimeFactor != 1 {
+		t = time.Duration(float64(t) * w.TimeFactor)
+	}
+	return t
 }
 
 // PCIeTime converts a host↔device transfer volume into wire time on

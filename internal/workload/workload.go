@@ -422,6 +422,26 @@ func AllAtOnce(reqs []Request) {
 	}
 }
 
+// Span returns the earliest and latest arrival instants of a stream
+// (0, 0 for an empty one). Chaos schedules anchor crash and restart
+// times to it so a plan stays mid-burst at any request count or rate.
+func Span(reqs []Request) (first, last time.Duration) {
+	if len(reqs) == 0 {
+		return 0, 0
+	}
+	first, last = reqs[0].Arrival, reqs[0].Arrival
+	for i := range reqs[1:] {
+		a := reqs[i+1].Arrival
+		if a < first {
+			first = a
+		}
+		if a > last {
+			last = a
+		}
+	}
+	return first, last
+}
+
 // MeanPromptLen returns the average prompt length of a batch.
 func MeanPromptLen(reqs []Request) float64 {
 	if len(reqs) == 0 {

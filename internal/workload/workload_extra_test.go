@@ -1,6 +1,9 @@
 package workload
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestMMMUImagesAreContiguousRuns: the engine and the image-atomic
 // eviction policy treat each maximal run of image tokens as one image,
@@ -84,5 +87,21 @@ func TestArxivQAPromptIsArticlePlusQuestion(t *testing.T) {
 	}
 	if same {
 		t.Error("questions should differ between requests")
+	}
+}
+
+// TestSpan: the arrival envelope is order-independent and empty-safe.
+func TestSpan(t *testing.T) {
+	if f, l := Span(nil); f != 0 || l != 0 {
+		t.Fatalf("empty Span = %v..%v, want 0..0", f, l)
+	}
+	reqs := []Request{
+		{Arrival: 30 * time.Millisecond},
+		{Arrival: 10 * time.Millisecond},
+		{Arrival: 20 * time.Millisecond},
+	}
+	f, l := Span(reqs)
+	if f != 10*time.Millisecond || l != 30*time.Millisecond {
+		t.Fatalf("Span = %v..%v, want 10ms..30ms", f, l)
 	}
 }

@@ -60,6 +60,7 @@ package jenga
 
 import (
 	"jenga/internal/baseline"
+	"jenga/internal/chaos"
 	"jenga/internal/cluster"
 	"jenga/internal/core"
 	"jenga/internal/engine"
@@ -417,6 +418,37 @@ type (
 var (
 	NewFleetDirectory = fleet.NewDirectory
 	NewFleetStore     = fleet.NewStore
+)
+
+// Chaos surface (deterministic fault injection and crash recovery):
+// a ChaosPlan is a seeded, reproducible schedule of replica crashes,
+// restarts, degraded-bandwidth and straggler windows plus peer-
+// transfer failure rates; ChaosPolicy on ClusterConfig.Chaos attaches
+// one to a cluster and toggles the recovery machinery (directory
+// invalidation, bounded transfer retries, re-dispatch of crashed
+// replicas' requests to survivors).
+type (
+	// ChaosPlan is the seeded fault schedule (build with NewChaosPlan,
+	// chain Crash/Restart/Degrade/Straggle).
+	ChaosPlan = chaos.Plan
+	// ChaosEvent is one scheduled fault.
+	ChaosEvent = chaos.Event
+	// ChaosPolicy attaches a plan to a cluster and selects recovery.
+	ChaosPolicy = cluster.ChaosPolicy
+	// ReplicaHealth is a replica's liveness as routing sees it under a
+	// plan (Healthy, Sick inside a fault window, Dead after a crash).
+	ReplicaHealth = cluster.Health
+)
+
+// NewChaosPlan builds an empty fault plan on a seed; same seed, same
+// faults — chaos runs are reproducible bit-for-bit.
+var NewChaosPlan = chaos.NewPlan
+
+// Replica health states under a chaos plan.
+const (
+	ReplicaHealthy = cluster.Healthy
+	ReplicaSick    = cluster.Sick
+	ReplicaDead    = cluster.Dead
 )
 
 // PrefixHash hashes a prompt's first n tokens with the prefix-cache
