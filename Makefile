@@ -5,7 +5,7 @@ GO ?= go
 # Pinned staticcheck (matches the CI step; bump both together).
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race bench bench-json bench-smoke chaos-smoke fuzz staticcheck fmt vet ci
+.PHONY: build test race bench bench-json bench-scale bench-smoke chaos-smoke scale-smoke fuzz staticcheck fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,16 @@ bench-json:
 		-bench-json BENCH_serving.json
 	$(GO) run ./cmd/jengabench -bench-core -bench-json BENCH_core.json
 
+# Full-size scale benchmark: one million streamed requests on a
+# 16-replica fleet through ServeStream, swept across shard counts,
+# with a serial ServeOnline baseline pair — writes the scale section
+# of BENCH_serving.json. Several minutes of wall time, so it is not
+# part of bench-json/CI (every other mode preserves the committed
+# scale section); rerun it when the streaming or sharding paths
+# change.
+bench-scale:
+	$(GO) run ./cmd/jengabench -scale-serve -bench-json BENCH_serving.json
+
 # Benchmark smoke: every benchmark must still run (one iteration each),
 # so the committed perf trajectory cannot rot.
 bench-smoke:
@@ -65,6 +75,14 @@ bench-smoke:
 chaos-smoke:
 	$(GO) run -race ./cmd/jengabench -faults -replicas 3 -requests 120 \
 		-rate 150 -prefix-len 512 -host-gb 1 -kv-gb 0.25
+
+# Scale smoke (part of `make ci`): a ~100k-request streamed ServeStream
+# pass over the 16-replica fleet under the race detector, asserting the
+# workload is never materialized (peak live heap bounded far below the
+# materialized slice's cost) and every request is served. -short skips
+# it elsewhere so `make race` doesn't run it twice.
+scale-smoke:
+	$(GO) test -race -run TestScaleSmoke -v ./internal/bench/
 
 # Timed fuzz over the core free pool, the host-tier/map-reference
 # differential, the fork/CoW lifecycle and the fleet-directory/
@@ -90,5 +108,5 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: vet build test race chaos-smoke
+ci: vet build test race chaos-smoke scale-smoke
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi

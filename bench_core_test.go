@@ -44,3 +44,7 @@ func BenchmarkCommitDecode(b *testing.B) { benchOp(b, bench.CommitDecode) }
 // BenchmarkRunStepSteadyState: one engine step with 32 decode-phase
 // sequences at 2k context.
 func BenchmarkRunStepSteadyState(b *testing.B) { benchOp(b, bench.RunStepSteadyState) }
+
+// BenchmarkServeOnlineArrival: ServeOnline's per-arrival router-loop
+// body over an 8-replica fleet — snapshot, route, submit.
+func BenchmarkServeOnlineArrival(b *testing.B) { benchOp(b, bench.ServeOnlineArrival) }

@@ -14,6 +14,14 @@
 // writes BENCH_core.json — preserving the file's existing baseline
 // section so an optimization's before/after stays committed.
 //
+// With -scale-serve it runs the streamed scale benchmark: a
+// serial-vs-stream baseline pair at a size ServeOnline can finish,
+// then the full request count (default one million, streamed and never
+// materialized) through ServeStream across a shard sweep, recording
+// wall time and peak heap per point (the scale section of
+// -bench-json). -cpuprofile/-memprofile capture pprof profiles of any
+// mode.
+//
 // Usage:
 //
 //	jengabench -list
@@ -23,6 +31,8 @@
 //	jengabench -stream -rate 150 -slo-ttft 750ms -admission kv+slo \
 //	    -bench-json BENCH_serving.json
 //	jengabench -bench-core -bench-json BENCH_core.json
+//	jengabench -scale-serve -requests 1000000 -stream-workload mixed \
+//	    -bench-json BENCH_serving.json
 package main
 
 import (
@@ -30,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -79,6 +91,12 @@ func main() {
 		kvGB        = flag.Float64("kv-gb", 0, "per-replica KV budget override in GiB (0 = full device budget); small values make the stream memory-pressured")
 		benchJSON   = flag.String("bench-json", "", "write the stream-mode scorecard to this JSON file (BENCH_serving.json)")
 
+		scaleServe     = flag.Bool("scale-serve", false, "run the streamed scale benchmark: ServeOnline baseline, same-shape ServeStream, then a full-size shard sweep (merges a scale section into -bench-json)")
+		shards         = flag.Int("shards", 0, "scale-mode shard count (0 = sweep 1,2,4,8)")
+		streamWorkload = flag.String("stream-workload", "prefixgroups", "scale-mode streamed workload: prefixgroups, sharegpt or mixed")
+		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile     = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
 		faults        = flag.Bool("faults", false, "run the chaos benchmark: a seeded replica crash/restart plus peer-transfer faults on the churn stream, recovery off vs on (merges a chaos section into -bench-json)")
 		crashReplica  = flag.Int("crash-replica", -1, "chaos-mode replica to crash (-1 = the last)")
 		crashAt       = flag.Duration("crash-at", 0, "chaos-mode crash instant (0 = 40% through the arrival burst)")
@@ -91,6 +109,55 @@ func main() {
 		drainReplicas = flag.Int("drain-replicas", 1, "migration-mode replicas to drain (capped at replicas-1)")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	if *scaleServe {
+		if *exp != "" || *list || *csv != "" || *stream || *fanout || *benchCore || *faults || *fleetStore || *migrate {
+			fmt.Fprintln(os.Stderr, "scale mode (-scale-serve) does not combine with -exp, -list, -csv, -stream, -fanout, -bench-core or the fleet/chaos modes")
+			os.Exit(1)
+		}
+		n := *replicas
+		if n <= 0 {
+			n = 16
+		}
+		reqs := *requests
+		if reqs <= 480 {
+			reqs = 1_000_000 // the default -requests is sized for the serial modes
+		}
+		r := *rate
+		if r <= 0 {
+			r = 4000
+		}
+		if err := runScaleServe(reqs, n, *shards, r, *groups, *prefixLen, *streamWorkload, *seed, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchCore {
 		if *exp != "" || *list || *csv != "" || *stream || *replicas > 0 {
 			fmt.Fprintln(os.Stderr, "core-bench mode (-bench-core) does not combine with -exp, -list, -csv, -stream or -replicas")
@@ -358,11 +425,13 @@ type servingBench struct {
 
 	// Fanout is the fan-out sharing scorecard (-fanout mode); Fleet the
 	// fleet-memory scorecard (-fleet-store/-migrate modes); Chaos the
-	// fault-injection scorecard (-faults mode). Every mode rewrites its
-	// own section of the file and preserves the others'.
+	// fault-injection scorecard (-faults mode); Scale the streamed
+	// million-request harness scorecard (-scale-serve mode). Every mode
+	// rewrites its own section of the file and preserves the others'.
 	Fanout *fanoutBench `json:"fanout,omitempty"`
 	Fleet  *fleetBench  `json:"fleet,omitempty"`
 	Chaos  *chaosBench  `json:"chaos,omitempty"`
+	Scale  *scaleBench  `json:"scale,omitempty"`
 }
 
 // chaosBench is the chaos section of BENCH_serving.json: the identical
@@ -676,6 +745,7 @@ func runStream(replicas int, router, modelName, device string, requests int, rat
 	out.Fanout = prev.Fanout
 	out.Fleet = prev.Fleet
 	out.Chaos = prev.Chaos
+	out.Scale = prev.Scale
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

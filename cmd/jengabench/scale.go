@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"jenga/internal/bench"
+	"jenga/internal/metrics"
+	"jenga/internal/workload"
+)
+
+// scaleBench is the scale section of BENCH_serving.json: the streamed
+// ServeStream harness at fleet size, tracked across PRs — how many
+// requests per wall second the simulator processes, how much heap a
+// never-materialized workload needs, and what the sharded event loops
+// buy over the serial per-arrival drive.
+type scaleBench struct {
+	Replicas        int     `json:"replicas"`
+	Groups          int     `json:"groups"`
+	PrefixLen       int     `json:"prefix_len"`
+	SuffixLen       int     `json:"suffix_len"`
+	RatePerS        float64 `json:"rate_per_s"`
+	Workload        string  `json:"workload"`
+	SnapshotEveryMs float64 `json:"snapshot_every_ms"`
+	// NumCPU and Gomaxprocs record the harness host: wall-clock shard
+	// scaling is bounded by physical cores, so the sweep is only
+	// interpretable next to them.
+	NumCPU     int    `json:"num_cpu"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	Note       string `json:"note,omitempty"`
+
+	// Serial is the ServeOnline baseline and Stream the same-shape
+	// ServeStream run (shards=1): their ratio is the algorithmic
+	// speedup of epoch snapshots plus streamed aggregation, with no
+	// parallelism involved.
+	Serial         *scaleRowJSON  `json:"serial_baseline,omitempty"`
+	Stream         *scaleRowJSON  `json:"stream_baseline,omitempty"`
+	StreamVsSerial float64        `json:"stream_vs_serial_speedup,omitempty"`
+	SpeedupAt8Vs1  float64        `json:"speedup_8_shards_vs_1,omitempty"`
+	ShardSweep     []scaleRowJSON `json:"shard_sweep,omitempty"`
+}
+
+// scaleRowJSON is one measured run.
+type scaleRowJSON struct {
+	Requests      int     `json:"requests"`
+	Shards        int     `json:"shards"`
+	WallMs        float64 `json:"wall_ms"`
+	ReqPerWallSec float64 `json:"req_per_wall_s"`
+	PeakHeapMB    float64 `json:"peak_heap_mb"`
+	SimReqPerSec  float64 `json:"sim_req_per_s"`
+	HitRate       float64 `json:"hit_rate"`
+	Finished      int     `json:"finished"`
+}
+
+func scaleRowJSONOf(r bench.ScaleResult) scaleRowJSON {
+	return scaleRowJSON{
+		Requests:      r.Requests,
+		Shards:        r.Shards,
+		WallMs:        float64(r.Wall) / float64(time.Millisecond),
+		ReqPerWallSec: r.ReqPerWallSec,
+		PeakHeapMB:    float64(r.PeakHeapBytes) / (1 << 20),
+		SimReqPerSec:  r.ReqPerSimSec,
+		HitRate:       r.HitRate,
+		Finished:      r.Finished,
+	}
+}
+
+// scaleWorkloadSource resolves -stream-workload into a streamed source
+// factory (nil = the built-in PrefixGroups stream).
+func scaleWorkloadSource(name string) (func(bench.ScaleOptions) workload.Source, error) {
+	switch name {
+	case "", "prefixgroups":
+		return nil, nil
+	case "sharegpt":
+		return func(opt bench.ScaleOptions) workload.Source {
+			src := workload.NewGen(opt.Seed).ShareGPTSource(opt.Requests)
+			return workload.PoissonSource(src, workload.NewGen(opt.Seed+1), opt.Rate)
+		}, nil
+	case "mixed":
+		// Half shared-prefix, half conversational, k-way merged — the
+		// MergeSources path at scale.
+		return func(opt bench.ScaleOptions) workload.Source {
+			half := opt.Requests / 2
+			perGroup := (half + opt.Groups - 1) / opt.Groups
+			pg := workload.PoissonSource(
+				workload.NewGen(opt.Seed).PrefixGroupsSource(opt.Groups, perGroup, opt.PrefixLen, opt.SuffixLen),
+				workload.NewGen(opt.Seed+1), opt.Rate/2)
+			sg := workload.PoissonSource(
+				workload.NewGen(opt.Seed+2).ShareGPTSource(opt.Requests-half),
+				workload.NewGen(opt.Seed+3), opt.Rate/2)
+			return workload.MergeSources(pg, sg)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown -stream-workload %q (prefixgroups, sharegpt or mixed)", name)
+	}
+}
+
+// runScaleServe runs the scale benchmark: a serial-vs-stream baseline
+// pair at a size ServeOnline can still handle, then the full streamed
+// run swept across shard counts, and writes the scale section of
+// -bench-json (preserving every other section).
+func runScaleServe(requests, replicas, shards int, rate float64, groups, prefixLen int,
+	streamWorkload string, seed int64, benchJSON string) error {
+	newSource, err := scaleWorkloadSource(streamWorkload)
+	if err != nil {
+		return err
+	}
+	base := bench.DefaultScaleOptions(bench.ScaleOptions{
+		Requests:  requests,
+		Replicas:  replicas,
+		Rate:      rate,
+		Groups:    groups,
+		PrefixLen: prefixLen,
+		Seed:      seed,
+		NewSource: newSource,
+	})
+	sb := scaleBench{
+		Replicas:        base.Replicas,
+		Groups:          base.Groups,
+		PrefixLen:       base.PrefixLen,
+		SuffixLen:       base.SuffixLen,
+		RatePerS:        base.Rate,
+		Workload:        streamWorkloadName(streamWorkload),
+		SnapshotEveryMs: 10,
+		NumCPU:          runtime.NumCPU(),
+		Gomaxprocs:      runtime.GOMAXPROCS(0),
+	}
+	if sb.NumCPU <= 1 {
+		sb.Note = "single-core host: shard scaling is concurrency without parallelism; the stream-vs-serial row is the algorithmic win"
+	}
+
+	// Baseline pair: the serial path is O(replicas × arrivals) in
+	// snapshot work and materializes the stream, so it runs at a size
+	// it can finish in reasonable wall time.
+	baseReq := requests / 10
+	if baseReq > 100_000 {
+		baseReq = 100_000
+	}
+	if baseReq < 1_000 {
+		baseReq = requests
+	}
+	bopt := base
+	bopt.Requests = baseReq
+	bopt.Shards = 1
+	serial, err := bench.RunScaleSerial(bopt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serial  %8d req  wall %8.0fms  %7.0f req/wall-s  peak heap %6.1f MB\n",
+		serial.Requests, float64(serial.Wall)/1e6, serial.ReqPerWallSec, float64(serial.PeakHeapBytes)/(1<<20))
+	stream1, err := bench.RunScale(bopt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stream  %8d req  wall %8.0fms  %7.0f req/wall-s  peak heap %6.1f MB\n",
+		stream1.Requests, float64(stream1.Wall)/1e6, stream1.ReqPerWallSec, float64(stream1.PeakHeapBytes)/(1<<20))
+	sRow, bRow := scaleRowJSONOf(serial), scaleRowJSONOf(stream1)
+	sb.Serial, sb.Stream = &sRow, &bRow
+	sb.StreamVsSerial = metrics.Speedup(stream1.ReqPerWallSec, serial.ReqPerWallSec)
+
+	// Shard sweep at full size. A fixed shard count (-shards > 0) runs
+	// only that point.
+	counts := []int{1, 2, 4, 8}
+	if shards > 0 {
+		counts = []int{shards}
+	}
+	var at1, at8 float64
+	for _, s := range counts {
+		opt := base
+		opt.Shards = s
+		row, err := bench.RunScale(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shards %2d  %8d req  wall %8.0fms  %7.0f req/wall-s  peak heap %6.1f MB  sim %7.2f req/s\n",
+			s, row.Requests, float64(row.Wall)/1e6, row.ReqPerWallSec, float64(row.PeakHeapBytes)/(1<<20), row.ReqPerSimSec)
+		sb.ShardSweep = append(sb.ShardSweep, scaleRowJSONOf(row))
+		if s == 1 {
+			at1 = row.ReqPerWallSec
+		}
+		if s == 8 {
+			at8 = row.ReqPerWallSec
+		}
+	}
+	if at1 > 0 && at8 > 0 {
+		sb.SpeedupAt8Vs1 = at8 / at1
+	}
+	fmt.Printf("stream vs serial: %.2fx (same %d-request shape, shards=1)\n", sb.StreamVsSerial, baseReq)
+
+	if benchJSON == "" {
+		return nil
+	}
+	out := loadServingBench(benchJSON)
+	out.Scale = &sb
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (scale section)\n", benchJSON)
+	return nil
+}
+
+func streamWorkloadName(name string) string {
+	if name == "" {
+		return "prefixgroups"
+	}
+	return name
+}

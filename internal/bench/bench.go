@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"jenga/internal/cluster"
 	"jenga/internal/core"
 	"jenga/internal/engine"
 	"jenga/internal/model"
@@ -63,6 +64,7 @@ var All = []struct {
 	{"lookup_warm", LookupWarm},
 	{"commit_decode", CommitDecode},
 	{"run_step_steady_state", RunStepSteadyState},
+	{"serve_online_arrival", ServeOnlineArrival},
 }
 
 // AllocSmall measures one small-page allocation plus release at ~99.9%
@@ -312,6 +314,78 @@ func RunStepSteadyState() (*Op, error) {
 			return launch()
 		},
 	}, nil
+}
+
+// ServeOnlineArrival measures ServeOnline's per-arrival router-loop
+// body — snapshot every replica, route against the live loads, submit
+// to the chosen engine — the serial cost the streamed serving path
+// amortizes into epochs. Recycle resets the fleet so the pending-queue
+// insert never drifts out of the near-empty regime routing runs in.
+func ServeOnlineArrival() (*Op, error) {
+	spec := textSpec("bench-arrival")
+	const replicas = 8
+	engines := make([]*engine.Engine, replicas)
+	for i := range engines {
+		mgr, err := core.New(core.Config{
+			Spec: spec, CapacityBytes: 64 << 20, TokensPerPage: 16,
+			EnablePrefixCache: true, RequestAware: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng, err := engine.New(engine.Config{Spec: spec, Manager: mgr})
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = eng
+	}
+	router, err := cluster.NewRouter(cluster.LeastLoaded, replicas, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	loads := make([]cluster.Load, replicas)
+	for i := range loads {
+		loads[i].Replica = i
+	}
+	prompt := make([]core.Token, 256)
+	for i := range prompt {
+		prompt[i] = core.Token{ID: int32(i + 1)}
+	}
+	base := 0
+	op := &Op{
+		RecycleEvery: 512,
+		Recycle: func(i int) error {
+			for _, e := range engines {
+				e.Reset()
+			}
+			for j := range loads {
+				loads[j] = cluster.Load{Replica: j}
+			}
+			base = i
+			return nil
+		},
+	}
+	op.Run = func(i int) error {
+		req := workload.Request{
+			ID:        int64(i + 1),
+			Prompt:    prompt,
+			OutputLen: 32,
+			Arrival:   time.Duration(i-base) * 50 * time.Microsecond,
+		}
+		for j, e := range engines {
+			snap := e.SnapshotTotals()
+			loads[j].Live = true
+			loads[j].Usage = snap.Usage
+			loads[j].QueueDepth = snap.Pending + snap.Waiting
+			loads[j].OutstandingTokens = snap.OutstandingTokens
+		}
+		rep := router.Route(&req, loads)
+		work := int64(len(req.Prompt) + req.OutputLen)
+		loads[rep].Requests++
+		loads[rep].RoutedTokens += work
+		return engines[rep].Submit(&req)
+	}
+	return op, nil
 }
 
 // textSpec is the shared one-group full-attention model.

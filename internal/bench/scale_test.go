@@ -1,0 +1,52 @@
+package bench
+
+import "testing"
+
+// TestRunScaleSmall: the scale harness is wired end to end — the
+// streamed run finishes its whole workload and the fidelity anchors
+// are shard-count invariant.
+func TestRunScaleSmall(t *testing.T) {
+	run := func(shards int) ScaleResult {
+		res, err := RunScale(ScaleOptions{Requests: 1600, Replicas: 4, Shards: shards, Rate: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(4)
+	if a.Finished == 0 || a.Finished != a.Requests {
+		t.Fatalf("finished %d of %d", a.Finished, a.Requests)
+	}
+	if a.Finished != b.Finished || a.SimDuration != b.SimDuration || a.HitRate != b.HitRate {
+		t.Fatalf("sim outcome moved with shard count: %+v vs %+v", a, b)
+	}
+	if a.PeakHeapBytes <= 0 {
+		t.Fatal("heap watcher recorded nothing")
+	}
+}
+
+// TestScaleSmoke is the CI scale gate (make scale-smoke): a
+// ~100k-request streamed ServeStream pass on the 16-replica fleet,
+// asserting the workload is never materialized — peak live heap stays
+// far below the ~450 MB the request slice alone would cost — and that
+// the fleet serves the entire stream. Run under -race by the Makefile
+// target; skipped in -short runs (the race suite covers correctness).
+func TestScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke is its own CI target (make scale-smoke)")
+	}
+	res, err := RunScale(ScaleOptions{Requests: 100_000, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != res.Requests {
+		t.Fatalf("finished %d of %d requests", res.Finished, res.Requests)
+	}
+	const heapBound = 320 << 20
+	if res.PeakHeapBytes > heapBound {
+		t.Fatalf("peak heap %d MB exceeds the %d MB streaming bound — is the workload being materialized?",
+			res.PeakHeapBytes>>20, int64(heapBound)>>20)
+	}
+	t.Logf("scale smoke: %d requests, wall %v, peak heap %d MB, %0.f req/wall-s",
+		res.Requests, res.Wall, res.PeakHeapBytes>>20, res.ReqPerWallSec)
+}

@@ -1,0 +1,452 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jenga/internal/engine"
+	"jenga/internal/metrics"
+	"jenga/internal/workload"
+)
+
+// StreamConfig tunes ServeStream's sharded event loops.
+type StreamConfig struct {
+	// Shards is the number of replica event-loop goroutines; replica i
+	// runs on shard i mod Shards. 0 or negative defaults to 1; values
+	// above the replica count are clamped (an empty shard is useless).
+	Shards int
+	// Mailbox is each shard's bounded command-queue depth (routed
+	// arrivals plus snapshot horizons). 0 defaults to 256.
+	Mailbox int
+	// SnapshotEvery is the load-snapshot epoch length K in simulated
+	// time: replicas publish their SnapshotTotals at every multiple of
+	// K, and the router reads those epoch snapshots instead of
+	// force-advancing all engines per arrival. Smaller K is fresher
+	// load state but more synchronization; 0 defaults to 10ms.
+	SnapshotEvery time.Duration
+}
+
+const (
+	defaultMailbox       = 256
+	defaultSnapshotEvery = 10 * time.Millisecond
+)
+
+// streamCmd is one shard-mailbox entry: a routed arrival (horizon
+// false) or a snapshot-horizon barrier (horizon true). Commands reach
+// each shard in router order, so per-replica arrival order is exactly
+// the routing order.
+type streamCmd struct {
+	req     workload.Request
+	rep     int
+	at      time.Duration
+	horizon bool
+}
+
+// streamGroup is one tenant's exact served-work accumulator (the
+// streamed counterpart of aggregate's per-group fold).
+type streamGroup struct {
+	tokens   int64
+	finished int
+	ttftSum  time.Duration
+}
+
+// streamAcc folds one shard's terminal request metrics as they retire:
+// latency histograms instead of per-request slices, exact counters for
+// everything aggregate computes exactly. One accumulator per shard,
+// touched only by that shard's goroutine — merged after the drain.
+type streamAcc struct {
+	ttft, e2e, restore metrics.DurationHist
+	deadlineMet        int
+	sloMet             int
+	groups             map[int64]*streamGroup
+}
+
+func newStreamAcc() *streamAcc {
+	return &streamAcc{groups: make(map[int64]*streamGroup)}
+}
+
+// observe folds one finished request (RetireSink latency fields are
+// only meaningful for EventFinished).
+func (a *streamAcc) observe(m engine.RequestMetrics, slo time.Duration) {
+	a.ttft.Observe(m.TTFT)
+	a.e2e.Observe(m.E2E)
+	a.restore.Observe(m.RestoreTime)
+	if m.Deadline == 0 || m.E2E <= m.Deadline {
+		a.deadlineMet++
+	}
+	if slo > 0 && m.TTFT <= slo {
+		a.sloMet++
+	}
+	g := a.groups[m.Group]
+	if g == nil {
+		g = &streamGroup{}
+		a.groups[m.Group] = g
+	}
+	g.tokens += int64(m.Tokens)
+	g.finished++
+	g.ttftSum += m.TTFT
+}
+
+// streamShard is one replica event loop: it owns replicas rep where
+// rep mod shards == id, consumes its mailbox in FIFO order, and
+// publishes load snapshots at horizon barriers.
+type streamShard struct {
+	id      int
+	cluster *Cluster
+	owned   []int // replica indices, ascending
+	cmds    chan streamCmd
+	// ack signals one completed horizon; loads is the snapshot buffer
+	// the router reads after the ack (the channel receive orders the
+	// shard's writes before the router's reads, and the router never
+	// reads it between a horizon send and its ack).
+	ack   chan struct{}
+	loads []Load
+	acc   *streamAcc
+	err   error
+}
+
+// run is the shard goroutine body. On error it keeps consuming (and
+// acking horizons) so the router never blocks; the error surfaces
+// after the drain.
+func (s *streamShard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	engines := s.cluster.engines
+	for cmd := range s.cmds {
+		if s.err != nil {
+			if cmd.horizon {
+				s.ack <- struct{}{}
+			}
+			continue
+		}
+		if cmd.horizon {
+			for i, rep := range s.owned {
+				e := engines[rep]
+				if err := e.AdvanceTo(cmd.at); err != nil {
+					s.err = fmt.Errorf("cluster: replica %d: %w", rep, err)
+					break
+				}
+				snap := e.SnapshotTotals()
+				s.loads[i].Usage = snap.Usage
+				s.loads[i].QueueDepth = snap.Pending + snap.Waiting
+				s.loads[i].OutstandingTokens = snap.OutstandingTokens
+			}
+			s.ack <- struct{}{}
+			continue
+		}
+		e := engines[cmd.rep]
+		if err := e.AdvanceTo(cmd.req.Arrival); err != nil {
+			s.err = fmt.Errorf("cluster: replica %d: %w", cmd.rep, err)
+			continue
+		}
+		// Submit retains the pointer; the command is a loop variable,
+		// so give the engine its own copy.
+		req := cmd.req
+		if err := e.Submit(&req); err != nil {
+			s.err = fmt.Errorf("cluster: replica %d: %w", cmd.rep, err)
+		}
+	}
+	if s.err != nil {
+		return
+	}
+	for _, rep := range s.owned {
+		if err := engines[rep].Drain(); err != nil {
+			s.err = fmt.Errorf("cluster: replica %d: %w", rep, err)
+			return
+		}
+	}
+}
+
+// ServeStream is ServeOnline's scale path: the workload streams in
+// (never materialized), each replica's engine runs on a shard
+// goroutine fed by a bounded mailbox of routed arrivals, and routing
+// reads epoch-published load snapshots instead of force-advancing
+// every engine at every arrival — the O(replicas × arrivals) snapshot
+// work that dominates large serial runs becomes O(replicas × epochs),
+// and per-request retirement folds into fixed-size histograms so
+// memory stays bounded at any request count.
+//
+// The drive is a conservative parallel discrete-event simulation: at
+// each snapshot epoch boundary E·K the router broadcasts a horizon
+// barrier, every shard advances its replicas exactly to E·K and
+// publishes their SnapshotTotals, and only then does routing proceed.
+// Snapshots are therefore taken at exact simulated instants, so the
+// result is a pure function of the workload, config and shard-visible
+// routing state — independent of the shard count and of wall-clock
+// scheduling. For a load-oblivious router (prefix affinity, round
+// robin) routing never reads engine state at all, and every replica
+// receives exactly the ServeOnline request sequence: per-replica
+// results are bit-identical to the serial path at any shard count.
+// Load-aware routers see epoch-stale state (staleness < K) instead of
+// per-arrival state, so their placements are statistically — not
+// bit — equivalent to ServeOnline's.
+//
+// Arrivals must be non-decreasing (PoissonSource and MergeSources
+// guarantee this); chaos plans, the fleet store, scale-down drains and
+// migration need the serial arrival loop and are rejected. Latency
+// percentiles come from log-bucketed histograms (≤ ~3% relative
+// error, exact min/max); every count, rate and sum in the Result is
+// exact.
+func (c *Cluster) ServeStream(src workload.Source, sc StreamConfig) (*Result, error) {
+	if c.cfg.Chaos.enabled() {
+		return nil, fmt.Errorf("cluster: ServeStream does not support a chaos plan (use ServeOnline)")
+	}
+	if c.cfg.Fleet.enabled() || c.store != nil {
+		return nil, fmt.Errorf("cluster: ServeStream does not support fleet policies (use ServeOnline)")
+	}
+	n := len(c.engines)
+	shards := sc.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	mailbox := sc.Mailbox
+	if mailbox <= 0 {
+		mailbox = defaultMailbox
+	}
+	every := sc.SnapshotEvery
+	if every <= 0 {
+		every = defaultSnapshotEvery
+	}
+	if r, ok := c.router.(resettable); ok {
+		r.reset()
+	}
+	for _, e := range c.engines {
+		e.Reset()
+	}
+
+	// Build the shards and wire each owned engine's retirement into its
+	// shard's accumulator (sink calls run on the shard goroutine).
+	shardOf := make([]*streamShard, n)
+	ss := make([]*streamShard, shards)
+	for i := range ss {
+		s := &streamShard{
+			id:      i,
+			cluster: c,
+			cmds:    make(chan streamCmd, mailbox),
+			ack:     make(chan struct{}, 1),
+			acc:     newStreamAcc(),
+		}
+		ss[i] = s
+	}
+	slo := c.cfg.SLOTTFT
+	for rep := 0; rep < n; rep++ {
+		s := ss[rep%shards]
+		s.owned = append(s.owned, rep)
+		shardOf[rep] = s
+		acc := s.acc
+		c.engines[rep].SetRetireSink(func(m engine.RequestMetrics, ev engine.EventType) {
+			if ev == engine.EventFinished {
+				acc.observe(m, slo)
+			}
+		})
+	}
+	defer func() {
+		for _, e := range c.engines {
+			e.SetRetireSink(nil)
+		}
+	}()
+	for _, s := range ss {
+		s.loads = make([]Load, len(s.owned))
+	}
+	var wg sync.WaitGroup
+	for _, s := range ss {
+		wg.Add(1)
+		go s.run(&wg)
+	}
+
+	// Route: the serial part of the drive. Epoch snapshots plus the
+	// drained-estimate Outstanding are the only engine state it reads.
+	loads := make([]Load, n)
+	for i := range loads {
+		loads[i].Replica = i
+	}
+	routedGroups := make(map[int64]int)
+	epoch := int64(-1)
+	lastArrival := time.Duration(0)
+	var routeErr error
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if r.Arrival < lastArrival {
+			routeErr = fmt.Errorf("cluster: ServeStream needs non-decreasing arrivals (got %v after %v)", r.Arrival, lastArrival)
+			break
+		}
+		// Snapshot horizon: on an epoch change, barrier every shard at
+		// the boundary E·K and collect the published loads.
+		if e := int64(r.Arrival / every); e > epoch {
+			epoch = e
+			at := time.Duration(epoch) * every
+			for _, s := range ss {
+				s.cmds <- streamCmd{at: at, horizon: true}
+			}
+			for _, s := range ss {
+				<-s.ack
+				for i, rep := range s.owned {
+					loads[rep].Live = true
+					loads[rep].Usage = s.loads[i].Usage
+					loads[rep].QueueDepth = s.loads[i].QueueDepth
+					loads[rep].OutstandingTokens = s.loads[i].OutstandingTokens
+				}
+			}
+		}
+		// Keep the estimate-drained Outstanding for routers written
+		// against the batch contract (same decay as the serial paths).
+		if dt := (r.Arrival - lastArrival).Seconds(); dt > 0 && c.drainRate > 0 {
+			for j := range loads {
+				loads[j].Outstanding -= c.drainRate * dt
+				if loads[j].Outstanding < 0 {
+					loads[j].Outstanding = 0
+				}
+			}
+		}
+		lastArrival = r.Arrival
+		rep := c.router.Route(r, loads)
+		if rep < 0 || rep >= n {
+			rep = 0 // defensive: a broken custom router must not panic the run
+		}
+		work := int64(len(r.Prompt) + r.OutputLen)
+		loads[rep].Requests++
+		loads[rep].RoutedTokens += work
+		loads[rep].Outstanding += float64(work)
+		// Optimistic local deltas over the stale snapshot: the epoch
+		// publish can't see work routed after it, so account for it
+		// here or a load-aware router dumps a whole epoch's arrivals on
+		// whichever replica the last snapshot showed coolest. The next
+		// horizon overwrites both with measured values.
+		loads[rep].OutstandingTokens += work
+		loads[rep].QueueDepth++
+		routedGroups[r.Group]++
+		shardOf[rep].cmds <- streamCmd{req: *r, rep: rep}
+	}
+
+	// EOF (or router error): close the mailboxes, let the shards drain
+	// their replicas to completion, then collect.
+	for _, s := range ss {
+		close(s.cmds)
+	}
+	wg.Wait()
+	if routeErr != nil {
+		return nil, routeErr
+	}
+	for _, s := range ss {
+		if s.err != nil {
+			return nil, s.err
+		}
+	}
+	results := make([]*engine.Result, n)
+	for i, e := range c.engines {
+		results[i] = e.ResultSnapshot()
+	}
+	accs := make([]*streamAcc, len(ss))
+	for i, s := range ss {
+		accs[i] = s.acc
+	}
+	return c.aggregateStream(loads, results, accs, routedGroups), nil
+}
+
+// aggregateStream is aggregate for the streamed path: identical exact
+// counters, rates and fairness folds, with latency percentiles read
+// from the merged shard histograms instead of per-request slices.
+func (c *Cluster) aggregateStream(loads []Load, results []*engine.Result, accs []*streamAcc, routedGroups map[int64]int) *Result {
+	out := &Result{
+		Policy:   c.router.Name(),
+		Replicas: len(results),
+	}
+	var cached, computed, generated, restored int64
+	shares := make([]float64, len(results))
+	for i, res := range results {
+		shares[i] = float64(loads[i].RoutedTokens)
+		out.PerReplica = append(out.PerReplica, ReplicaResult{
+			Replica:      i,
+			Requests:     loads[i].Requests,
+			RoutedTokens: loads[i].RoutedTokens,
+			Result:       res,
+		})
+		out.Finished += res.Finished
+		out.Failed += res.Failed
+		out.Shed += res.Shed
+		if res.Duration > out.Duration {
+			out.Duration = res.Duration
+		}
+		cached += res.CachedPromptTokens
+		computed += res.ComputedPromptTokens
+		generated += res.GeneratedTokens
+		restored += res.RestoredTokens
+		out.RestoredTokens += res.RestoredTokens
+		out.RecomputedTokens += res.RecomputedTokens
+		out.SwapOuts += res.SwapOuts
+		out.SwapIns += res.SwapIns
+		out.PeerHits += res.PeerHits
+		out.PeerTokens += res.PeerTokens
+		out.PeerBytes += res.PeerBytes
+		out.Migrations += res.MigratedIn
+		out.MeanKVUtil += res.MeanKVUtil
+	}
+	var ttft, e2e, restoreH metrics.DurationHist
+	deadlineMet, sloMet := 0, 0
+	groups := make(map[int64]*streamGroup)
+	for _, a := range accs {
+		ttft.Merge(&a.ttft)
+		e2e.Merge(&a.e2e)
+		restoreH.Merge(&a.restore)
+		deadlineMet += a.deadlineMet
+		sloMet += a.sloMet
+		for id, sg := range a.groups {
+			g := groups[id]
+			if g == nil {
+				g = &streamGroup{}
+				groups[id] = g
+			}
+			g.tokens += sg.tokens
+			g.finished += sg.finished
+			g.ttftSum += sg.ttftSum
+		}
+	}
+	groupTokens := make([]float64, 0, len(groups))
+	for _, g := range groups {
+		groupTokens = append(groupTokens, float64(g.tokens))
+		if mean := g.ttftSum / time.Duration(g.finished); mean > out.MaxGroupMeanTTFT {
+			out.MaxGroupMeanTTFT = mean
+		}
+	}
+	out.GroupJain = metrics.Jain(groupTokens)
+	for g, routed := range routedGroups {
+		if routed > 0 && groups[g] == nil {
+			out.StarvedGroups++
+		}
+	}
+	if n := len(results); n > 0 {
+		out.MeanKVUtil /= float64(n)
+	}
+	if out.Duration > 0 {
+		out.ReqPerSec = float64(out.Finished) / out.Duration.Seconds()
+		out.TokensPerSec = float64(computed+generated) / out.Duration.Seconds()
+		out.Goodput = metrics.Goodput(deadlineMet, out.Duration)
+	}
+	if c.cfg.SLOTTFT > 0 {
+		if n := ttft.Count(); n > 0 {
+			out.SLOAttainment = float64(sloMet) / float64(n)
+		} else {
+			out.SLOAttainment = 1
+		}
+	} else {
+		out.SLOAttainment = metrics.Fraction(deadlineMet, out.Finished)
+	}
+	out.CachedPromptTokens = cached
+	out.ComputedPromptTokens = computed
+	if work := cached + computed; work > 0 {
+		out.HitRate = float64(cached) / float64(work)
+		out.TierHitRate = float64(restored) / float64(work)
+		out.PeerHitRate = float64(out.PeerTokens) / float64(work)
+	}
+	out.P99Restore = restoreH.Percentile(99)
+	out.Imbalance = metrics.Imbalance(shares)
+	out.P50TTFT, out.P99TTFT = ttft.Percentile(50), ttft.Percentile(99)
+	out.P50E2E, out.P99E2E = e2e.Percentile(50), e2e.Percentile(99)
+	return out
+}

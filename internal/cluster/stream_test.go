@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"jenga/internal/chaos"
+	"jenga/internal/workload"
+)
+
+// streamWorkload builds a monotone-arrival online stream (ServeStream
+// requires non-decreasing arrivals, so no jitter here).
+func streamWorkload(seed int64, deadline time.Duration) []workload.Request {
+	gen := workload.NewGen(seed)
+	reqs := gen.PrefixGroups(15, 12, 512, 48)
+	gen.PoissonArrivals(reqs, 300)
+	if deadline > 0 {
+		workload.SetDeadlines(reqs, deadline)
+	}
+	return reqs
+}
+
+func streamCluster(t *testing.T, replicas int, policy RouterPolicy) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Spec: testSpec(), Replicas: replicas, Policy: policy,
+		CapacityBytes: perReplicaCapacity,
+		SLOTTFT:       500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	lim := relTol * want
+	if lim < 0 {
+		lim = -lim
+	}
+	if d > lim {
+		t.Errorf("%s: stream %v vs serial %v (beyond %.0f%%)", name, got, want, relTol*100)
+	}
+}
+
+// With a load-oblivious router the streamed path routes identically to
+// the serial one, so every exact counter must match ServeOnline
+// bit for bit; only histogram-read percentiles may differ, within the
+// bucket resolution.
+func TestServeStreamMatchesServeOnlineAffinity(t *testing.T) {
+	reqs := streamWorkload(11, time.Second)
+	serial, err := streamCluster(t, 4, PrefixAffinity).ServeOnline(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := streamCluster(t, 4, PrefixAffinity).ServeStream(workload.SliceSource(reqs), StreamConfig{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Finished != serial.Finished || stream.Failed != serial.Failed || stream.Shed != serial.Shed {
+		t.Fatalf("terminal counts differ: stream %d/%d/%d serial %d/%d/%d",
+			stream.Finished, stream.Failed, stream.Shed, serial.Finished, serial.Failed, serial.Shed)
+	}
+	if stream.Duration != serial.Duration {
+		t.Fatalf("duration differs: %v vs %v", stream.Duration, serial.Duration)
+	}
+	if stream.ReqPerSec != serial.ReqPerSec || stream.TokensPerSec != serial.TokensPerSec ||
+		stream.Goodput != serial.Goodput {
+		t.Fatalf("rates differ: %+v vs %+v", stream, serial)
+	}
+	if stream.HitRate != serial.HitRate ||
+		stream.CachedPromptTokens != serial.CachedPromptTokens ||
+		stream.ComputedPromptTokens != serial.ComputedPromptTokens ||
+		stream.RestoredTokens != serial.RestoredTokens {
+		t.Fatalf("cache accounting differs: %+v vs %+v", stream, serial)
+	}
+	if stream.GroupJain != serial.GroupJain || stream.MaxGroupMeanTTFT != serial.MaxGroupMeanTTFT ||
+		stream.StarvedGroups != serial.StarvedGroups {
+		t.Fatalf("fairness differs: jain %v/%v maxTTFT %v/%v starved %d/%d",
+			stream.GroupJain, serial.GroupJain, stream.MaxGroupMeanTTFT, serial.MaxGroupMeanTTFT,
+			stream.StarvedGroups, serial.StarvedGroups)
+	}
+	if stream.Imbalance != serial.Imbalance || stream.MeanKVUtil != serial.MeanKVUtil ||
+		stream.SLOAttainment != serial.SLOAttainment {
+		t.Fatalf("scorecard differs: imbalance %v/%v kvutil %v/%v slo %v/%v",
+			stream.Imbalance, serial.Imbalance, stream.MeanKVUtil, serial.MeanKVUtil,
+			stream.SLOAttainment, serial.SLOAttainment)
+	}
+	for i := range serial.PerReplica {
+		s, o := stream.PerReplica[i], serial.PerReplica[i]
+		if s.Requests != o.Requests || s.RoutedTokens != o.RoutedTokens {
+			t.Fatalf("replica %d routing differs: %d/%d tokens %d/%d",
+				i, s.Requests, o.Requests, s.RoutedTokens, o.RoutedTokens)
+		}
+		if s.Result.Finished != o.Result.Finished || s.Result.Duration != o.Result.Duration ||
+			s.Result.Steps != o.Result.Steps ||
+			s.Result.CachedPromptTokens != o.Result.CachedPromptTokens ||
+			s.Result.GeneratedTokens != o.Result.GeneratedTokens {
+			t.Fatalf("replica %d engine result differs:\nstream %+v\nserial %+v", i, s.Result, o.Result)
+		}
+	}
+	// Percentiles are histogram reads: within the bucket width of the
+	// serial exact values (min/max ranks are exact).
+	within(t, "p50 TTFT", float64(stream.P50TTFT), float64(serial.P50TTFT), 0.06)
+	within(t, "p99 TTFT", float64(stream.P99TTFT), float64(serial.P99TTFT), 0.06)
+	within(t, "p50 E2E", float64(stream.P50E2E), float64(serial.P50E2E), 0.06)
+	within(t, "p99 E2E", float64(stream.P99E2E), float64(serial.P99E2E), 0.06)
+	within(t, "p99 restore", float64(stream.P99Restore), float64(serial.P99Restore), 0.06)
+}
+
+// The conservative-horizon protocol makes the run a pure function of
+// the workload and config: any shard count, same result — for
+// load-aware routers too, since snapshots are published at exact
+// epoch instants.
+func TestServeStreamShardCountInvariant(t *testing.T) {
+	reqs := streamWorkload(5, time.Second)
+	run := func(shards int, policy RouterPolicy) *Result {
+		res, err := streamCluster(t, 4, policy).ServeStream(workload.SliceSource(reqs), StreamConfig{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, policy := range []RouterPolicy{LeastLoaded, PrefixAffinity} {
+		base := run(1, policy)
+		for _, shards := range []int{2, 4, 7} { // 7 clamps to the replica count
+			got := run(shards, policy)
+			if got.Finished != base.Finished || got.Duration != base.Duration ||
+				got.HitRate != base.HitRate || got.P99TTFT != base.P99TTFT ||
+				got.P99E2E != base.P99E2E || got.Imbalance != base.Imbalance ||
+				got.Goodput != base.Goodput || got.SLOAttainment != base.SLOAttainment {
+				t.Errorf("policy %v shards %d diverged:\n%+v\nvs shards=1\n%+v", policy, shards, got, base)
+			}
+			for i := range base.PerReplica {
+				if got.PerReplica[i].Requests != base.PerReplica[i].Requests {
+					t.Errorf("policy %v shards %d replica %d routed %d, shards=1 routed %d",
+						policy, shards, i, got.PerReplica[i].Requests, base.PerReplica[i].Requests)
+				}
+			}
+		}
+	}
+}
+
+// Load-aware routing over epoch-stale snapshots must stay
+// statistically close to the serial per-arrival path.
+func TestServeStreamLeastLoadedEquivalence(t *testing.T) {
+	reqs := streamWorkload(23, time.Second)
+	serial, err := streamCluster(t, 4, LeastLoaded).ServeOnline(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := streamCluster(t, 4, LeastLoaded).ServeStream(workload.SliceSource(reqs),
+		StreamConfig{Shards: 4, SnapshotEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Finished+stream.Failed+stream.Shed != len(reqs) {
+		t.Fatalf("terminal counts %d+%d+%d != %d", stream.Finished, stream.Failed, stream.Shed, len(reqs))
+	}
+	within(t, "finished", float64(stream.Finished), float64(serial.Finished), 0.02)
+	within(t, "hit rate", stream.HitRate, serial.HitRate, 0.15)
+	within(t, "goodput", stream.Goodput, serial.Goodput, 0.05)
+	within(t, "p99 TTFT", float64(stream.P99TTFT), float64(serial.P99TTFT), 0.25)
+	within(t, "imbalance", stream.Imbalance, serial.Imbalance, 0.10)
+}
+
+// A cluster is reusable across streamed and serial passes: the retire
+// sink is detached afterwards, so a following ServeOnline still gets
+// exact per-request aggregation.
+func TestServeStreamThenServeOnline(t *testing.T) {
+	c := streamCluster(t, 3, PrefixAffinity)
+	reqs := streamWorkload(9, 0)
+	first, err := c.ServeStream(workload.SliceSource(reqs), StreamConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.ServeOnline(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Finished != second.Finished {
+		t.Fatalf("streamed pass finished %d, serial re-run %d", first.Finished, second.Finished)
+	}
+	if len(second.PerReplica) > 0 {
+		total := 0
+		for _, pr := range second.PerReplica {
+			total += len(pr.Result.PerRequest)
+		}
+		if total != second.Finished {
+			t.Fatalf("serial pass after stream lost per-request records: %d != %d", total, second.Finished)
+		}
+	}
+}
+
+// Chaos plans and fleet mechanisms need the serial arrival loop.
+func TestServeStreamRejectsIncompatibleConfigs(t *testing.T) {
+	src := func() workload.Source { return workload.SliceSource(streamWorkload(1, 0)) }
+	c, err := New(Config{
+		Spec: testSpec(), Replicas: 2, Policy: PrefixAffinity,
+		CapacityBytes: perReplicaCapacity,
+		Chaos:         ChaosPolicy{Plan: chaos.NewPlan(1).Crash(0, time.Second)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ServeStream(src(), StreamConfig{}); err == nil {
+		t.Fatal("chaos plan must be rejected")
+	}
+	c, err = New(Config{
+		Spec: testSpec(), Replicas: 2, Policy: PrefixAffinity,
+		CapacityBytes: perReplicaCapacity,
+		Fleet:         FleetPolicy{DrainAfter: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ServeStream(src(), StreamConfig{}); err == nil {
+		t.Fatal("fleet scale-down must be rejected")
+	}
+}
+
+// Out-of-order arrivals are a caller bug the router reports rather
+// than silently misroutes.
+func TestServeStreamRejectsNonMonotoneArrivals(t *testing.T) {
+	reqs := streamWorkload(2, 0)
+	reqs[1].Arrival = reqs[0].Arrival - time.Millisecond
+	if _, err := streamCluster(t, 2, PrefixAffinity).ServeStream(workload.SliceSource(reqs[:3]), StreamConfig{}); err == nil {
+		t.Fatal("decreasing arrivals must be rejected")
+	}
+}

@@ -200,7 +200,7 @@ func (m *Jenga) LookupFleet(seq *Sequence, peer PeerPresence) (int, []FetchBlock
 		if g.isVision() || !g.appliesTo(seq) {
 			continue
 		}
-		v := m.buildView(g, seq.Tokens, true)
+		v := m.buildView(g, seq.ID, seq.Tokens, true)
 		fv := fleetView{g: g, view: v}
 		if g.spec.Kind == model.Mamba {
 			// Re-derive the checkpoint chain hashes (buildView keeps

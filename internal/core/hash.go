@@ -61,6 +61,29 @@ func blockHashesInto(dst []uint64, tokens []Token, blockTokens int) []uint64 {
 	return dst
 }
 
+// extendBlockHashes appends the hashes of complete blocks not yet in
+// dst, resuming the chain from dst's last element (the chain value
+// after block k IS element k, so no rehash of covered tokens is
+// needed). With an empty dst it equals blockHashesInto(dst[:0], ...);
+// callers guarantee dst was built from a prefix of tokens.
+func extendBlockHashes(dst []uint64, tokens []Token, blockTokens int) []uint64 {
+	if blockTokens <= 0 {
+		return dst
+	}
+	n := len(tokens) / blockTokens
+	h := blockHashSeed
+	if len(dst) > 0 {
+		h = dst[len(dst)-1]
+	}
+	for k := len(dst); k < n; k++ {
+		for i := k * blockTokens; i < (k+1)*blockTokens; i++ {
+			h = hashChain(h, tokens[i])
+		}
+		dst = append(dst, h)
+	}
+	return dst
+}
+
 // prefixHash returns the chained hash over the first n projected
 // tokens; used to identify Mamba state checkpoints, which snapshot the
 // whole prefix at one position.

@@ -182,7 +182,7 @@ func (m *Jenga) lookupPrefix(seq *Sequence, useHost bool) int {
 		if g.isVision() || !g.appliesTo(seq) {
 			continue // never gates KV hits
 		}
-		v := m.buildView(g, seq.Tokens, useHost)
+		v := m.buildView(g, seq.ID, seq.Tokens, useHost)
 		for _, ok := range v.Present {
 			if ok {
 				anyPresent = true
@@ -225,18 +225,32 @@ type lookupView struct {
 	view *GroupSeqView
 }
 
-// buildView constructs the Lookup view of one group. With useHost,
-// host-tier-resident blocks count as present. The view is built into
-// per-group scratch (g.lkView and friends): it is rebuilt in full on
-// every call and nothing returned from Lookup outlives the call, so
-// the warm-lookup path allocates nothing.
-func (m *Jenga) buildView(g *group, tokens []Token, useHost bool) *GroupSeqView {
+// buildView constructs the Lookup view of one group for sequence id.
+// With useHost, host-tier-resident blocks count as present. The view
+// is built into per-group scratch (g.lkView and friends); nothing
+// returned from Lookup outlives the call, so the warm-lookup path
+// allocates nothing.
+//
+// Presence (Present/presentRun and the Mamba checkpoint set) is
+// rebuilt in full on every call — the cache index mutates between
+// lookups, and LookupFleet overlays peer presence in place — but the
+// content-derived scratch (the projection, ProjCount and the block
+// hash chain) extends incrementally when this call sees the same
+// request on the same backing array with the cached prefix intact.
+// Callers only ever append to a live sequence's tokens (Submit and
+// Fork allocate fresh arrays), so append-only growth keeps the base
+// pointer, the first token and the token at the cached boundary
+// stable; a different request, a reallocated array or a truncation
+// breaks one of them and forces a full rebuild. This is what makes a
+// warm lookup over a long prompt stop rehashing the whole prefix.
+func (m *Jenga) buildView(g *group, id RequestID, tokens []Token, useHost bool) *GroupSeqView {
 	storesImg := g.spec.StoresToken(true)
 	storesTxt := g.spec.StoresToken(false)
-	proj := tokens
-	if !(storesImg && storesTxt) {
-		g.lkProj = projectInto(g.lkProj[:0], tokens, storesImg, storesTxt)
-		proj = g.lkProj
+	done := 0
+	if g.lkSeqLen > 0 && g.lkSeqID == id && len(tokens) >= g.lkSeqLen &&
+		g.lkSeqBase == &tokens[0] && g.lkFirst == tokens[0] &&
+		g.lkLast == tokens[g.lkSeqLen-1] {
+		done = g.lkSeqLen
 	}
 	v := &g.lkView
 	v.BlockTokens = g.tpp
@@ -244,15 +258,33 @@ func (m *Jenga) buildView(g *group, tokens []Token, useHost bool) *GroupSeqView 
 	if cap(v.ProjCount) >= len(tokens)+1 {
 		v.ProjCount = v.ProjCount[:len(tokens)+1]
 	} else {
-		v.ProjCount = make([]int, len(tokens)+1)
+		pc := make([]int, len(tokens)+1)
+		if done > 0 {
+			copy(pc, v.ProjCount[:done+1])
+		}
+		v.ProjCount = pc
 	}
-	n := 0
-	for i, t := range tokens {
-		v.ProjCount[i] = n
-		if g.spec.StoresToken(t.Image) {
+	v.ProjCount[0] = 0
+	n := v.ProjCount[done]
+	for i := done; i < len(tokens); i++ {
+		if g.spec.StoresToken(tokens[i].Image) {
 			n++
 		}
 		v.ProjCount[i+1] = n
+	}
+	proj := tokens
+	if !(storesImg && storesTxt) {
+		g.lkProj = projectInto(g.lkProj[:v.ProjCount[done]], tokens[done:], storesImg, storesTxt)
+		proj = g.lkProj
+	}
+	if len(tokens) > 0 {
+		g.lkSeqID = id
+		g.lkSeqBase = &tokens[0]
+		g.lkSeqLen = len(tokens)
+		g.lkFirst = tokens[0]
+		g.lkLast = tokens[len(tokens)-1]
+	} else {
+		g.lkSeqLen = 0
 	}
 	if g.spec.Kind == model.Mamba {
 		every := g.spec.Checkpoint()
@@ -279,7 +311,10 @@ func (m *Jenga) buildView(g *group, tokens []Token, useHost bool) *GroupSeqView 
 		v.buildRuns()
 		return v
 	}
-	g.lkHashes = blockHashesInto(g.lkHashes[:0], proj, g.tpp)
+	if done == 0 {
+		g.lkHashes = g.lkHashes[:0]
+	}
+	g.lkHashes = extendBlockHashes(g.lkHashes, proj, g.tpp)
 	hashes := g.lkHashes
 	if cap(v.Present) >= len(hashes) {
 		v.Present = v.Present[:len(hashes)]
@@ -894,7 +929,7 @@ func (m *Jenga) Diagnose(seq *Sequence) string {
 		if g.spec.Kind == model.Mamba {
 			continue
 		}
-		v := m.buildView(g, seq.Tokens, m.host != nil)
+		v := m.buildView(g, seq.ID, seq.Tokens, m.host != nil)
 		present, runEnd := 0, 0
 		for k, ok := range v.Present {
 			if ok {

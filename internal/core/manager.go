@@ -135,13 +135,28 @@ type group struct {
 	// contribution to Usage.SharedBytes.
 	extraRefs int64
 
-	// Lookup scratch, reused across calls: the warm-lookup path
-	// rebuilds these fully on every call and nothing returned from
-	// Lookup outlives it, so reuse is safe and makes the warm lookup
-	// allocation-free.
+	// Lookup scratch, reused across calls: nothing returned from
+	// Lookup outlives the call, so reuse is safe and makes the warm
+	// lookup allocation-free. The content-derived parts (ProjCount,
+	// lkProj, lkHashes) are additionally cached across calls keyed on
+	// the sequence below — a warm lookup over a prompt already seen
+	// extends the projection and hash chain incrementally instead of
+	// rehashing the whole prefix. Present/presentRun are rebuilt in
+	// full every call (the index mutates between lookups, and
+	// LookupFleet overlays peer presence in place).
 	lkView   GroupSeqView
 	lkProj   []Token
 	lkHashes []uint64
+	// Identity of the sequence the scratch above was built from.
+	// The incremental path requires the same request ID and the same
+	// backing array with an unchanged prefix; callers only ever append
+	// to a live sequence's tokens, so (ID, base pointer, first/last
+	// token at the cached length) identifies an append-only extension.
+	lkSeqID   RequestID
+	lkSeqBase *Token
+	lkSeqLen  int
+	lkFirst   Token
+	lkLast    Token
 }
 
 func (g *group) isVision() bool { return g.spec.Kind == model.VisionEmbedding }

@@ -426,6 +426,82 @@ type Engine struct {
 	// root single-stream); forkSeq numbers engine-generated branch IDs.
 	forker  core.Forker
 	forkSeq int64
+
+	// sink, when set via SetRetireSink, switches the engine to
+	// streaming retirement: terminal runs fold into the counters below
+	// (and into the caller's sink) instead of accumulating in the
+	// finished/failed/shed/cancelled lists, and the decode timeline
+	// folds into decodeSteps/decodeSum — memory stays bounded over
+	// million-request streams.
+	sink         RetireSink
+	retFinished  int
+	retFailed    int
+	retShed      int
+	retCancelled int
+	retTTFT      time.Duration
+	retE2E       time.Duration
+	retTPOT      time.Duration
+	retTPOTN     int
+	decodeSteps  int64
+	decodeSum    int64
+}
+
+// RetireSink receives each request's final record at its terminal
+// event. Latency fields (TTFT, E2E) are meaningful only for
+// EventFinished; failed/shed/cancelled records carry identity and
+// sizing fields. The sink is invoked synchronously on the engine's
+// stepping goroutine and must not call back into the engine.
+type RetireSink func(m RequestMetrics, ev EventType)
+
+// SetRetireSink installs sink and switches the engine to streaming
+// retirement: Result.PerRequest, DecodeBatchTimeline and the terminal
+// run lists stay empty, while every aggregate field (counts, means,
+// hit rates, throughput) is still computed exactly. The sink survives
+// Reset; pass nil to restore retained-list behavior.
+func (e *Engine) SetRetireSink(sink RetireSink) { e.sink = sink }
+
+// runMetrics assembles one run's per-request record (the Result
+// PerRequest entry, and the RetireSink payload in streaming mode).
+func (e *Engine) runMetrics(r *run) RequestMetrics {
+	return RequestMetrics{
+		ID:             r.req.ID,
+		Arrival:        r.req.Arrival,
+		TTFT:           r.firstToken - r.req.Arrival,
+		E2E:            r.finish - r.req.Arrival,
+		Deadline:       r.req.Deadline,
+		Group:          r.req.Group,
+		Priority:       r.req.Priority,
+		Tokens:         r.promptLen() + r.req.OutputLen,
+		RestoredTokens: r.restoredTokens,
+		RestoreBytes:   r.restoredBytes,
+		RestoreTime:    e.cfg.Device.PCIeTime(r.restoredBytes),
+	}
+}
+
+// retireTerminal routes a non-finished terminal run to the sink (in
+// streaming-retirement mode) or to its retention list. Callers emit
+// the matching lifecycle event themselves.
+func (e *Engine) retireTerminal(r *run, ev EventType) {
+	if e.sink != nil {
+		switch ev {
+		case EventFailed:
+			e.retFailed++
+		case EventShed:
+			e.retShed++
+		case EventCancelled:
+			e.retCancelled++
+		}
+		e.sink(e.runMetrics(r), ev)
+		return
+	}
+	switch ev {
+	case EventFailed:
+		e.failed = append(e.failed, r)
+	case EventShed:
+		e.shed = append(e.shed, r)
+	case EventCancelled:
+		e.cancelled = append(e.cancelled, r)
+	}
 }
 
 // New validates the config and builds an engine.
@@ -523,6 +599,16 @@ func (e *Engine) reset() {
 	e.kvUtilPeak = 0
 	e.decodeTimeline = nil
 	e.memTimeline = nil
+	e.retFinished = 0
+	e.retFailed = 0
+	e.retShed = 0
+	e.retCancelled = 0
+	e.retTTFT = 0
+	e.retE2E = 0
+	e.retTPOT = 0
+	e.retTPOTN = 0
+	e.decodeSteps = 0
+	e.decodeSum = 0
 }
 
 // sampleKVUtil records the fraction of KV capacity holding live or
@@ -557,7 +643,7 @@ func (e *Engine) admitArrivals() {
 		r := e.pending[0]
 		e.pending = e.pending[1:]
 		if e.cfg.Admission != nil && e.cfg.Admission.Decide(r.req, e.admissionState(r)) == Shed {
-			e.shed = append(e.shed, r)
+			e.retireTerminal(r, EventShed)
 			e.emit(EventShed, r)
 			continue
 		}
@@ -763,7 +849,14 @@ func (e *Engine) runStep() bool {
 		work.PCIeFactor, work.LinkFactor, work.TimeFactor = f.PCIe, f.Link, f.Slow
 	}
 	e.clock += e.cost.StepTime(work)
-	e.decodeTimeline = append(e.decodeTimeline, decodeBatch)
+	if e.sink != nil {
+		if decodeBatch > 0 {
+			e.decodeSteps++
+			e.decodeSum += int64(decodeBatch)
+		}
+	} else {
+		e.decodeTimeline = append(e.decodeTimeline, decodeBatch)
+	}
 	for _, r := range committers {
 		e.cfg.Manager.Commit(r.seq, r.pendingTarget, now)
 		if r.ph == phasePrefill {
@@ -1121,7 +1214,7 @@ func (e *Engine) handleStall() bool {
 		r := e.waiting[idx]
 		e.waiting = append(e.waiting[:idx], e.waiting[idx+1:]...)
 		e.cfg.Manager.Release(r.seq, false)
-		e.failed = append(e.failed, r)
+		e.retireTerminal(r, EventFailed)
 		e.emit(EventFailed, r)
 		e.globalStalls = 0
 		if debugSteps {
@@ -1154,7 +1247,7 @@ func (e *Engine) handleStall() bool {
 	}
 	e.cfg.Manager.Release(worst.seq, false)
 	e.removeRunning(worst)
-	e.failed = append(e.failed, worst)
+	e.retireTerminal(worst, EventFailed)
 	e.emit(EventFailed, worst)
 	e.globalStalls = 0
 	return true
@@ -1164,7 +1257,18 @@ func (e *Engine) finishRun(r *run) {
 	r.finish = e.clock
 	e.cfg.Manager.Release(r.seq, true)
 	e.removeRunning(r)
-	e.finished = append(e.finished, r)
+	if e.sink != nil {
+		e.retFinished++
+		e.retTTFT += r.firstToken - r.req.Arrival
+		e.retE2E += r.finish - r.req.Arrival
+		if r.req.OutputLen > 1 {
+			e.retTPOT += (r.finish - r.firstToken) / time.Duration(r.req.OutputLen-1)
+			e.retTPOTN++
+		}
+		e.sink(e.runMetrics(r), EventFinished)
+	} else {
+		e.finished = append(e.finished, r)
+	}
 	e.emit(EventFinished, r)
 }
 
@@ -1193,10 +1297,10 @@ func (e *Engine) result() *Result {
 	res := &Result{
 		Duration:             e.clock,
 		Steps:                e.step,
-		Finished:             len(e.finished),
-		Failed:               len(e.failed),
-		Shed:                 len(e.shed),
-		Cancelled:            len(e.cancelled),
+		Finished:             len(e.finished) + e.retFinished,
+		Failed:               len(e.failed) + e.retFailed,
+		Shed:                 len(e.shed) + e.retShed,
+		Cancelled:            len(e.cancelled) + e.retCancelled,
 		Preemptions:          e.preemptions,
 		PeerHits:             e.peerHits,
 		PeerTokens:           e.peerTokens,
@@ -1216,7 +1320,7 @@ func (e *Engine) result() *Result {
 		res.MeanKVUtil = e.kvUtilSum / float64(e.kvUtilN)
 	}
 	if e.clock > 0 {
-		res.ReqPerSec = float64(len(e.finished)) / e.clock.Seconds()
+		res.ReqPerSec = float64(res.Finished) / e.clock.Seconds()
 		res.TokensPerSec = float64(e.totalPromptComputed+e.totalGenerated) / e.clock.Seconds()
 	}
 	// Hit rate over all prefill work (recompute passes after preemption
@@ -1246,42 +1350,34 @@ func (e *Engine) result() *Result {
 			res.TierHitRate = float64(res.RestoredTokens) / float64(work)
 		}
 	}
-	var ttft, e2e, tpot time.Duration
-	var tpotN int
+	// Latency means: streamed retirements accumulated their sums at
+	// the terminal event; retained runs contribute here. In streaming-
+	// retirement mode PerRequest stays empty — per-request records went
+	// to the sink as they retired.
+	ttft, e2e, tpot := e.retTTFT, e.retE2E, e.retTPOT
+	tpotN := e.retTPOTN
 	res.PerRequest = make([]RequestMetrics, 0, len(e.finished))
 	for _, r := range e.finished {
 		ttft += r.firstToken - r.req.Arrival
 		e2e += r.finish - r.req.Arrival
-		res.PerRequest = append(res.PerRequest, RequestMetrics{
-			ID:             r.req.ID,
-			Arrival:        r.req.Arrival,
-			TTFT:           r.firstToken - r.req.Arrival,
-			E2E:            r.finish - r.req.Arrival,
-			Deadline:       r.req.Deadline,
-			Group:          r.req.Group,
-			Priority:       r.req.Priority,
-			Tokens:         r.promptLen() + r.req.OutputLen,
-			RestoredTokens: r.restoredTokens,
-			RestoreBytes:   r.restoredBytes,
-			RestoreTime:    e.cfg.Device.PCIeTime(r.restoredBytes),
-		})
+		res.PerRequest = append(res.PerRequest, e.runMetrics(r))
 		if r.req.OutputLen > 1 {
 			tpot += (r.finish - r.firstToken) / time.Duration(r.req.OutputLen-1)
 			tpotN++
 		}
 	}
-	if n := len(e.finished); n > 0 {
+	if n := res.Finished; n > 0 {
 		res.MeanTTFT = ttft / time.Duration(n)
 		res.MeanE2E = e2e / time.Duration(n)
 	}
 	if tpotN > 0 {
 		res.MeanTPOT = tpot / time.Duration(tpotN)
 	}
-	var steps, sum int
+	steps, sum := e.decodeSteps, e.decodeSum
 	for _, b := range e.decodeTimeline {
 		if b > 0 {
 			steps++
-			sum += b
+			sum += int64(b)
 		}
 	}
 	if steps > 0 {

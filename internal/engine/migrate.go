@@ -223,7 +223,7 @@ func (e *Engine) Shed(id int64) bool {
 	for i, r := range e.pending {
 		if r.req.ID == id {
 			e.pending = append(e.pending[:i], e.pending[i+1:]...)
-			e.shed = append(e.shed, r)
+			e.retireTerminal(r, EventShed)
 			e.emit(EventShed, r)
 			return true
 		}
@@ -232,7 +232,7 @@ func (e *Engine) Shed(id int64) bool {
 		if r.req.ID == id {
 			e.waiting = append(e.waiting[:i], e.waiting[i+1:]...)
 			e.cfg.Manager.Release(r.seq, false)
-			e.shed = append(e.shed, r)
+			e.retireTerminal(r, EventShed)
 			e.emit(EventShed, r)
 			return true
 		}
@@ -241,7 +241,7 @@ func (e *Engine) Shed(id int64) bool {
 		if r.req.ID == id {
 			e.cfg.Manager.Release(r.seq, true)
 			e.removeRunning(r)
-			e.shed = append(e.shed, r)
+			e.retireTerminal(r, EventShed)
 			e.emit(EventShed, r)
 			return true
 		}

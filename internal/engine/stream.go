@@ -291,7 +291,7 @@ func (e *Engine) Cancel(id int64) bool {
 	for i, r := range e.pending {
 		if r.req.ID == id {
 			e.pending = append(e.pending[:i], e.pending[i+1:]...)
-			e.cancelled = append(e.cancelled, r)
+			e.retireTerminal(r, EventCancelled)
 			e.emit(EventCancelled, r)
 			return true
 		}
@@ -303,7 +303,7 @@ func (e *Engine) Cancel(id int64) bool {
 			// all-or-nothing), but mirror the stall path's defensive
 			// release.
 			e.cfg.Manager.Release(r.seq, false)
-			e.cancelled = append(e.cancelled, r)
+			e.retireTerminal(r, EventCancelled)
 			e.emit(EventCancelled, r)
 			return true
 		}
@@ -312,7 +312,7 @@ func (e *Engine) Cancel(id int64) bool {
 		if r.req.ID == id {
 			e.cfg.Manager.Release(r.seq, true)
 			e.removeRunning(r)
-			e.cancelled = append(e.cancelled, r)
+			e.retireTerminal(r, EventCancelled)
 			e.emit(EventCancelled, r)
 			return true
 		}

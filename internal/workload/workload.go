@@ -132,17 +132,24 @@ func (g *Gen) uniform(lo, hi int) int {
 func (g *Gen) MMLUPro(n int, sharedPrefix int) []Request {
 	reqs := make([]Request, 0, n)
 	for i := 0; i < n; i++ {
-		subject := g.rng.Intn(4)
-		qLen := g.clampedNormal(800, 400, 128, 3076-sharedPrefix)
-		prompt := append([]core.Token{}, textTokens(int64(1000+subject), 0, sharedPrefix)...)
-		prompt = append(prompt, textTokens(int64(g.id())*7919, 0, qLen)...)
-		reqs = append(reqs, Request{
-			ID: g.id(), Group: int64(1000 + subject), Prompt: prompt,
-			// MMLU-pro is chain-of-thought: answers are long.
-			OutputLen: g.uniform(256, 768),
-		})
+		reqs = append(reqs, g.mmluProOne(sharedPrefix))
 	}
 	return reqs
+}
+
+// mmluProOne generates one MMLUPro request — the per-request body
+// shared by the slice generator and MMLUProSource, so both consume the
+// generator's randomness in exactly the same order.
+func (g *Gen) mmluProOne(sharedPrefix int) Request {
+	subject := g.rng.Intn(4)
+	qLen := g.clampedNormal(800, 400, 128, 3076-sharedPrefix)
+	prompt := append([]core.Token{}, textTokens(int64(1000+subject), 0, sharedPrefix)...)
+	prompt = append(prompt, textTokens(int64(g.id())*7919, 0, qLen)...)
+	return Request{
+		ID: g.id(), Group: int64(1000 + subject), Prompt: prompt,
+		// MMLU-pro is chain-of-thought: answers are long.
+		OutputLen: g.uniform(256, 768),
+	}
 }
 
 // MMMUPro generates multi-modal questions matching the §3.2 statistics:
@@ -150,26 +157,32 @@ func (g *Gen) MMLUPro(n int, sharedPrefix int) []Request {
 func (g *Gen) MMMUPro(n int, tokensPerImage int) []Request {
 	reqs := make([]Request, 0, n)
 	for i := 0; i < n; i++ {
-		images := 1
-		if tokensPerImage < 6193 {
-			images = int(math.Round(6193.0/float64(tokensPerImage))) + g.rng.Intn(3) - 1
-			if images < 1 {
-				images = 1
-			}
-		}
-		var prompt []core.Token
-		for im := 0; im < images; im++ {
-			prompt = append(prompt, imageTokens(int64(g.id())*104729+int64(im), tokensPerImage)...)
-		}
-		txt := g.clampedNormal(43, 15, 8, 120)
-		prompt = append(prompt, textTokens(int64(g.id())*31, 0, txt)...)
-		reqs = append(reqs, Request{
-			ID: g.id(), Prompt: prompt,
-			// MMMU-pro answers include chain-of-thought reasoning.
-			OutputLen: g.uniform(128, 384),
-		})
+		reqs = append(reqs, g.mmmuProOne(tokensPerImage))
 	}
 	return reqs
+}
+
+// mmmuProOne generates one MMMUPro request (shared by slice and
+// streaming forms; see mmluProOne).
+func (g *Gen) mmmuProOne(tokensPerImage int) Request {
+	images := 1
+	if tokensPerImage < 6193 {
+		images = int(math.Round(6193.0/float64(tokensPerImage))) + g.rng.Intn(3) - 1
+		if images < 1 {
+			images = 1
+		}
+	}
+	var prompt []core.Token
+	for im := 0; im < images; im++ {
+		prompt = append(prompt, imageTokens(int64(g.id())*104729+int64(im), tokensPerImage)...)
+	}
+	txt := g.clampedNormal(43, 15, 8, 120)
+	prompt = append(prompt, textTokens(int64(g.id())*31, 0, txt)...)
+	return Request{
+		ID: g.id(), Prompt: prompt,
+		// MMMU-pro answers include chain-of-thought reasoning.
+		OutputLen: g.uniform(128, 384),
+	}
 }
 
 // Article is a long document in the arXiv-QA pool.
@@ -196,15 +209,21 @@ func (g *Gen) Articles(count, meanLen int) []Article {
 func (g *Gen) ArxivQA(arts []Article, n int, questionLen int) []Request {
 	reqs := make([]Request, 0, n)
 	for i := 0; i < n; i++ {
-		a := arts[g.rng.Intn(len(arts))]
-		prompt := append([]core.Token{}, a.Tokens...)
-		prompt = append(prompt, textTokens(int64(g.id())*131071, 0, questionLen)...)
-		reqs = append(reqs, Request{
-			ID: g.id(), Group: a.Seed, Prompt: prompt,
-			OutputLen: g.uniform(100, 300),
-		})
+		reqs = append(reqs, g.arxivQAOne(arts, questionLen))
 	}
 	return reqs
+}
+
+// arxivQAOne generates one ArxivQA request (shared by slice and
+// streaming forms; see mmluProOne).
+func (g *Gen) arxivQAOne(arts []Article, questionLen int) Request {
+	a := arts[g.rng.Intn(len(arts))]
+	prompt := append([]core.Token{}, a.Tokens...)
+	prompt = append(prompt, textTokens(int64(g.id())*131071, 0, questionLen)...)
+	return Request{
+		ID: g.id(), Group: a.Seed, Prompt: prompt,
+		OutputLen: g.uniform(100, 300),
+	}
 }
 
 // LongDocQA is the Fig. 15 workload: n requests arriving at once with
@@ -212,13 +231,19 @@ func (g *Gen) ArxivQA(arts []Article, n int, questionLen int) []Request {
 func (g *Gen) LongDocQA(n int) []Request {
 	reqs := make([]Request, 0, n)
 	for i := 0; i < n; i++ {
-		reqs = append(reqs, Request{
-			ID:        g.id(),
-			Prompt:    textTokens(int64(g.id())*2147483647, 0, g.uniform(55_000, 110_000)),
-			OutputLen: g.uniform(50, 100),
-		})
+		reqs = append(reqs, g.longDocQAOne())
 	}
 	return reqs
+}
+
+// longDocQAOne generates one LongDocQA request (shared by slice and
+// streaming forms; see mmluProOne).
+func (g *Gen) longDocQAOne() Request {
+	return Request{
+		ID:        g.id(),
+		Prompt:    textTokens(int64(g.id())*2147483647, 0, g.uniform(55_000, 110_000)),
+		OutputLen: g.uniform(50, 100),
+	}
 }
 
 // ShareGPT generates conversational prompts with the dataset's ~1085
@@ -226,13 +251,19 @@ func (g *Gen) LongDocQA(n int) []Request {
 func (g *Gen) ShareGPT(n int) []Request {
 	reqs := make([]Request, 0, n)
 	for i := 0; i < n; i++ {
-		reqs = append(reqs, Request{
-			ID:        g.id(),
-			Prompt:    textTokens(int64(g.id())*524287, 0, g.clampedNormal(1085, 600, 32, 8192)),
-			OutputLen: g.uniform(64, 512),
-		})
+		reqs = append(reqs, g.shareGPTOne())
 	}
 	return reqs
+}
+
+// shareGPTOne generates one ShareGPT request (shared by slice and
+// streaming forms; see mmluProOne).
+func (g *Gen) shareGPTOne() Request {
+	return Request{
+		ID:        g.id(),
+		Prompt:    textTokens(int64(g.id())*524287, 0, g.clampedNormal(1085, 600, 32, 8192)),
+		OutputLen: g.uniform(64, 512),
+	}
 }
 
 // PrefixGroups generates the cluster-routing workload: groups distinct
@@ -247,16 +278,22 @@ func (g *Gen) PrefixGroups(groups, perGroup, prefixLen, suffixLen int) []Request
 	reqs := make([]Request, 0, groups*perGroup)
 	for i := 0; i < perGroup; i++ {
 		for grp := 0; grp < groups; grp++ {
-			seed := int64(7_000_000 + grp)
-			prompt := append([]core.Token{}, textTokens(seed, 0, prefixLen)...)
-			prompt = append(prompt, textTokens(int64(g.id())*15485863, 0, suffixLen)...)
-			reqs = append(reqs, Request{
-				ID: g.id(), Group: seed, Prompt: prompt,
-				OutputLen: g.uniform(16, 64),
-			})
+			reqs = append(reqs, g.prefixGroupsOne(grp, prefixLen, suffixLen))
 		}
 	}
 	return reqs
+}
+
+// prefixGroupsOne generates one PrefixGroups request for group grp
+// (shared by slice and streaming forms; see mmluProOne).
+func (g *Gen) prefixGroupsOne(grp, prefixLen, suffixLen int) Request {
+	seed := int64(7_000_000 + grp)
+	prompt := append([]core.Token{}, textTokens(seed, 0, prefixLen)...)
+	prompt = append(prompt, textTokens(int64(g.id())*15485863, 0, suffixLen)...)
+	return Request{
+		ID: g.id(), Group: seed, Prompt: prompt,
+		OutputLen: g.uniform(16, 64),
+	}
 }
 
 // ChurnGroups generates the replica-churn workload: the same shared
@@ -278,27 +315,33 @@ func (g *Gen) ChurnGroups(groups, perGroup, prefixLen, suffixLen, phases int) []
 	total := groups * perGroup
 	reqs := make([]Request, 0, total)
 	for i := 0; i < total; i++ {
-		p := i * phases / total
-		// Hot groups in phase p are p, p+phases, p+2·phases, …
-		hot := 0
-		if p < groups {
-			hot = (groups-1-p)/phases + 1
-		}
-		var grp int
-		if hot > 0 && g.rng.Intn(5) != 0 {
-			grp = p + g.rng.Intn(hot)*phases
-		} else {
-			grp = g.rng.Intn(groups)
-		}
-		seed := int64(7_000_000 + grp)
-		prompt := append([]core.Token{}, textTokens(seed, 0, prefixLen)...)
-		prompt = append(prompt, textTokens(int64(g.id())*15485863, 0, suffixLen)...)
-		reqs = append(reqs, Request{
-			ID: g.id(), Group: seed, Prompt: prompt,
-			OutputLen: g.uniform(16, 64),
-		})
+		reqs = append(reqs, g.churnGroupsOne(i, total, groups, prefixLen, suffixLen, phases))
 	}
 	return reqs
+}
+
+// churnGroupsOne generates ChurnGroups request i of total (shared by
+// slice and streaming forms; see mmluProOne).
+func (g *Gen) churnGroupsOne(i, total, groups, prefixLen, suffixLen, phases int) Request {
+	p := i * phases / total
+	// Hot groups in phase p are p, p+phases, p+2·phases, …
+	hot := 0
+	if p < groups {
+		hot = (groups-1-p)/phases + 1
+	}
+	var grp int
+	if hot > 0 && g.rng.Intn(5) != 0 {
+		grp = p + g.rng.Intn(hot)*phases
+	} else {
+		grp = g.rng.Intn(groups)
+	}
+	seed := int64(7_000_000 + grp)
+	prompt := append([]core.Token{}, textTokens(seed, 0, prefixLen)...)
+	prompt = append(prompt, textTokens(int64(g.id())*15485863, 0, suffixLen)...)
+	return Request{
+		ID: g.id(), Group: seed, Prompt: prompt,
+		OutputLen: g.uniform(16, 64),
+	}
 }
 
 // FanOut generates fan-out roots (parallel sampling, best-of-n, agentic
@@ -309,15 +352,21 @@ func (g *Gen) ChurnGroups(groups, perGroup, prefixLen, suffixLen, phases int) []
 func (g *Gen) FanOut(n, promptLen, forkAfter, outLen, branch int) []Request {
 	reqs := make([]Request, 0, n)
 	for i := 0; i < n; i++ {
-		id := g.id()
-		reqs = append(reqs, Request{
-			ID: id, Group: id,
-			Prompt:    textTokens(id*399989, 0, promptLen),
-			OutputLen: outLen,
-			Fanout:    branch, ForkAfter: forkAfter,
-		})
+		reqs = append(reqs, g.fanOutOne(promptLen, forkAfter, outLen, branch))
 	}
 	return reqs
+}
+
+// fanOutOne generates one fan-out root (shared by slice and streaming
+// forms; see mmluProOne).
+func (g *Gen) fanOutOne(promptLen, forkAfter, outLen, branch int) Request {
+	id := g.id()
+	return Request{
+		ID: id, Group: id,
+		Prompt:    textTokens(id*399989, 0, promptLen),
+		OutputLen: outLen,
+		Fanout:    branch, ForkAfter: forkAfter,
+	}
 }
 
 // NaiveFanOut lowers fan-out roots into the independent-request stream
