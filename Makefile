@@ -5,7 +5,7 @@ GO ?= go
 # Pinned staticcheck (matches the CI step; bump both together).
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: build test race bench bench-json bench-scale bench-smoke chaos-smoke scale-smoke fuzz staticcheck fmt vet ci
+.PHONY: build test race bench bench-json bench-scale bench-smoke chaos-smoke scale-smoke fuzz lint staticcheck fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -96,9 +96,23 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzForkLifecycle -fuzztime 5s ./internal/core
 	$(GO) test -run NONE -fuzz FuzzFleetDirectory -fuzztime 5s ./internal/fleet
 
-# Static analysis, pinned so local runs and CI agree. `go run pkg@ver`
-# needs module-proxy access; offline environments get the plain-vet
-# coverage from `make vet` instead.
+# jengalint: the repo's own analyzers (internal/analysis) — the
+# machine-enforced determinism contract (DESIGN.md): no map-order
+# dependence in golden-affecting packages, no wall-clock/global-rand/
+# env reads in sim packages, goroutine confinement, the //jenga:hotpath
+# zero-alloc contract, and comma-ok capability assertions. Builds from
+# the module itself (standard library only), so it runs fully offline
+# and is part of `make ci`. It is a standalone driver rather than a
+# `go vet -vettool` plugin because vet's unitchecker protocol needs
+# golang.org/x/tools, which this module deliberately does not depend
+# on.
+lint:
+	$(GO) run ./cmd/jengalint ./...
+
+# Static analysis beyond vet and jengalint, pinned so local runs and CI
+# agree. `go run pkg@ver` needs module-proxy access, so staticcheck is
+# the network-optional extra: CI runs it, offline environments get the
+# `make vet` + `make lint` coverage instead.
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
@@ -108,5 +122,5 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: vet build test race chaos-smoke scale-smoke
+ci: vet lint build test race chaos-smoke scale-smoke
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi

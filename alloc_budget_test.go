@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"jenga"
+	"jenga/internal/bench"
 )
 
 // TestDecodeStepZeroAlloc is the allocation budget of the hot path: in
@@ -60,5 +61,69 @@ func TestDecodeStepZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state decode step allocates %.2f objects per step, want 0", allocs)
+	}
+}
+
+// TestWarmLookupZeroAlloc pins the warm-lookup budget on the exact
+// fixture the committed benchmark trajectory measures: after the first
+// lookup hashes the prompt, repeat lookups over the same live sequence
+// extend the per-group scratch incrementally and allocate nothing
+// (buildView's contract — the scratch lives on the group, and nothing
+// returned from Lookup outlives the call).
+func TestWarmLookupZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is not meaningful under -short/-race runs")
+	}
+	op, err := bench.LookupWarm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First lookup builds the scratch cold; everything after is warm.
+	if err := op.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(128, func() {
+		if err := op.Run(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm prefix lookup allocates %.2f objects per call, want 0", allocs)
+	}
+}
+
+// TestServeArrivalAllocBudget bounds the per-arrival cost of the
+// online router loop (snapshot every replica, route, submit) on the
+// serve_online_arrival fixture. Unlike the decode and lookup paths
+// this one legitimately allocates — Submit creates the request's run
+// state — so the budget is a measured constant, not zero: the point is
+// catching a regression that starts allocating per replica or per
+// prompt token on the routing path.
+func TestServeArrivalAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is not meaningful under -short/-race runs")
+	}
+	op, err := bench.ServeOnlineArrival()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm within one recycle window (RecycleEvery is 512): the
+	// measurement below stays inside the near-empty routing regime the
+	// fixture is built to hold.
+	iter := 0
+	for ; iter < 100; iter++ {
+		if err := op.Run(iter); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(64, func() {
+		if err := op.Run(iter); err != nil {
+			t.Fatal(err)
+		}
+		iter++
+	})
+	const budget = 16
+	if allocs > budget {
+		t.Fatalf("online arrival allocates %.2f objects per request, budget %d", allocs, budget)
 	}
 }

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Capability enforces comma-ok handling on type assertions to the
+// optional capability interfaces (TierManager, Forker, Crasher,
+// AdmissionPreempter): a baseline manager legitimately lacks any of
+// them, so a single-result assertion is a latent panic that only fires
+// on the degraded configuration no golden covers. `v, ok :=` and
+// `v, _ :=` (deliberate nil-degrade, checked at the use site) are both
+// fine; type switches are fine; the bare expression form `x.(T)` is
+// not. Unlike the other analyzers this one checks _test.go files too —
+// a test that asserts capabilities panics the same way on a fixture
+// without them.
+var Capability = &Analyzer{
+	Name: "capability",
+	Doc:  "require comma-ok on type assertions to capability interfaces",
+	Run:  runCapability,
+}
+
+// capabilityNames are the optional-capability interfaces; matching is
+// by interface name, so fixtures and future homes of these interfaces
+// are covered without importing the packages that declare them.
+var capabilityNames = map[string]bool{
+	"TierManager":        true,
+	"Forker":             true,
+	"Crasher":            true,
+	"AdmissionPreempter": true,
+}
+
+func runCapability(pass *Pass) error {
+	for _, f := range pass.Files {
+		// parents tracks the path from the file root to the node under
+		// inspection so an assertion can see its enclosing statement.
+		var parents []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				parents = parents[:len(parents)-1]
+				return true
+			}
+			if ta, ok := n.(*ast.TypeAssertExpr); ok && ta.Type != nil {
+				checkAssert(pass, f, ta, parents)
+			}
+			parents = append(parents, n)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkAssert(pass *Pass, f *ast.File, ta *ast.TypeAssertExpr, parents []ast.Node) {
+	tv, ok := pass.Info.Types[ta.Type]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || !capabilityNames[named.Obj().Name()] {
+		return
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	// Comma-ok contexts: `v, ok := x.(T)` / `v, ok = x.(T)` /
+	// `var v, ok = x.(T)`. The parent chain ends
+	// [..., AssignStmt|ValueSpec, (nothing between)].
+	if len(parents) > 0 {
+		switch p := parents[len(parents)-1].(type) {
+		case *ast.AssignStmt:
+			if len(p.Lhs) == 2 && len(p.Rhs) == 1 && p.Rhs[0] == ast.Expr(ta) {
+				return
+			}
+		case *ast.ValueSpec:
+			if len(p.Names) == 2 && len(p.Values) == 1 && p.Values[0] == ast.Expr(ta) {
+				return
+			}
+		}
+	}
+	if pass.suppressed(f, "cap-ok", ta.Pos()) {
+		return
+	}
+	pass.Reportf(ta.Pos(), "single-result assertion to capability interface %s panics when the value lacks the capability; use the `, ok` form (or //jenga:cap-ok <why>)", named.Obj().Name())
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Confine forbids concurrency in the goroutine-confined packages: the
+// engine and everything below it (core, sched) is single-goroutine by
+// contract — DESIGN.md's confinement rules — and the wrappers that do
+// run goroutines (serve's pump, cluster's shard loops, the fleet
+// directory's lock) live in files explicitly allow-listed with a
+// //jenga:concurrent <why> file pragma. Flagged constructs: go
+// statements, select, channel sends/receives/close/make(chan), and any
+// use of sync or sync/atomic. Test files are exempt (test harnesses
+// may drive the engine concurrently on purpose, under -race).
+var Confine = &Analyzer{
+	Name: "confine",
+	Doc:  "forbid goroutines, sync, and channel ops outside //jenga:concurrent files",
+	Run:  runConfine,
+}
+
+func runConfine(pass *Pass) error {
+	if !isConfinedPkg(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		if pr := pass.FilePragmas(f).Concurrent; pr != nil {
+			if pr.Arg == "" {
+				pass.Reportf(pr.Pos, "//jenga:concurrent needs a justification (\"//jenga:concurrent <why>\")")
+			}
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in goroutine-confined package %s: move the concurrency into a //jenga:concurrent file or a wrapper package", pass.Path)
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select in goroutine-confined package %s", pass.Path)
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in goroutine-confined package %s", pass.Path)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in goroutine-confined package %s", pass.Path)
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) >= 1 {
+					if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+						switch id.Name {
+						case "make":
+							if _, isChan := n.Args[0].(*ast.ChanType); isChan {
+								pass.Reportf(n.Pos(), "make(chan) in goroutine-confined package %s", pass.Path)
+							}
+						case "close":
+							if tv, ok := pass.Info.Types[n.Args[0]]; ok {
+								if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+									pass.Reportf(n.Pos(), "close(chan) in goroutine-confined package %s", pass.Path)
+								}
+							}
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if pkgID, ok := n.X.(*ast.Ident); ok {
+					if pkgName, ok := pass.Info.Uses[pkgID].(*types.PkgName); ok {
+						switch pkgName.Imported().Path() {
+						case "sync", "sync/atomic":
+							pass.Reportf(n.Pos(), "%s.%s in goroutine-confined package %s", pkgName.Imported().Path(), n.Sel.Name, pass.Path)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over channel in goroutine-confined package %s", pass.Path)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

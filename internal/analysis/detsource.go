@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detsource forbids sources of nondeterminism in sim packages, whose
+// results must be a pure function of (workload, config, seed): wall-
+// clock reads (time.Now/Since/Until), the implicitly-seeded global
+// math/rand source, and environment reads. Test files and the entry
+// points (cmd, examples) are exempt; the one legitimate debug knob in
+// the tree carries //jenga:det-ok. Seeded generators
+// (rand.New(rand.NewSource(seed))) stay legal: only package-level
+// math/rand functions — the shared global source — are flagged.
+var Detsource = &Analyzer{
+	Name: "detsource",
+	Doc:  "forbid wall-clock, global rand, and env reads in sim packages",
+	Run:  runDetsource,
+}
+
+// detBanned maps package path → banned package-level identifiers. An
+// empty set means "every package-level function except constructors".
+var detBanned = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+	// math/rand package-level functions draw from the shared global
+	// source; the nil set is interpreted as "all but New*".
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+}
+
+func runDetsource(pass *Pass) error {
+	if !isSimPkg(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// Only qualified identifiers (pkg.Fn), not methods on
+			// values like r.Intn for a seeded *rand.Rand.
+			pkgName, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			banned, watched := detBanned[path]
+			if !watched {
+				return true
+			}
+			name := sel.Sel.Name
+			if banned != nil && !banned[name] {
+				return true
+			}
+			if banned == nil {
+				// Global-source rand: constructors are the escape
+				// hatch (rand.New, NewSource, NewPCG, NewChaCha8, …),
+				// and referring to types (rand.Rand, rand.Source) is
+				// always fine.
+				if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true
+				}
+				if strings.HasPrefix(name, "New") {
+					return true
+				}
+			}
+			if pass.suppressed(f, "det-ok", sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s in sim package %s: results must be a pure function of (workload, config, seed); inject the value through config, or justify with //jenga:det-ok <why>", path, name, pass.Path)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotpath holds functions annotated //jenga:hotpath — the zero-alloc
+// set whose budget alloc_budget_test.go pins with
+// testing.AllocsPerRun — to the allocation contract: no fmt calls, no
+// map or closure allocation, and no growing a nil local slice (the
+// amortized scratch buffers that make these paths zero-alloc are
+// struct fields, never loop-local slices born nil). Cold branches that
+// must allocate move to an unannotated helper or carry
+// //jenga:alloc-ok <why>. The check is per-function, not transitive:
+// annotate every function of a measured chain.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "enforce the zero-alloc contract in //jenga:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		fp := pass.FilePragmas(f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fp.HotpathPragma(fn) == nil {
+				continue
+			}
+			checkHotFunc(pass, f, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, f *ast.File, fn *ast.FuncDecl) {
+	// Nil-born local slices: `var x []T` declared in this function.
+	nilSlices := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		decl, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := decl.Decl.(*ast.GenDecl)
+		if !ok {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) > 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := pass.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					nilSlices[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !pass.suppressed(f, "alloc-ok", n.Pos()) {
+				pass.Reportf(n.Pos(), "closure in //jenga:hotpath function %s may allocate per call; hoist it or justify with //jenga:alloc-ok <why>", fn.Name.Name)
+			}
+			return false
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					if !pass.suppressed(f, "alloc-ok", n.Pos()) {
+						pass.Reportf(n.Pos(), "map literal in //jenga:hotpath function %s allocates; reuse a field or justify with //jenga:alloc-ok <why>", fn.Name.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, f, fn, n, nilSlices)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, f *ast.File, fn *ast.FuncDecl, call *ast.CallExpr, nilSlices map[types.Object]bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+			return
+		}
+		switch fun.Name {
+		case "make":
+			if len(call.Args) == 0 {
+				return
+			}
+			if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.IsType() {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					if !pass.suppressed(f, "alloc-ok", call.Pos()) {
+						pass.Reportf(call.Pos(), "make(map) in //jenga:hotpath function %s allocates; reuse a field or justify with //jenga:alloc-ok <why>", fn.Name.Name)
+					}
+				}
+			}
+		case "append":
+			if len(call.Args) == 0 {
+				return
+			}
+			id, ok := call.Args[0].(*ast.Ident)
+			if !ok {
+				return
+			}
+			if obj := pass.Info.ObjectOf(id); obj != nil && nilSlices[obj] {
+				if !pass.suppressed(f, "alloc-ok", call.Pos()) {
+					pass.Reportf(call.Pos(), "append to nil-born local slice %s in //jenga:hotpath function %s allocates on first growth; use an amortized scratch field or justify with //jenga:alloc-ok <why>", id.Name, fn.Name.Name)
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		pkgID, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if pkgName, ok := pass.Info.Uses[pkgID].(*types.PkgName); ok && pkgName.Imported().Path() == "fmt" {
+			if !pass.suppressed(f, "alloc-ok", call.Pos()) {
+				pass.Reportf(call.Pos(), "fmt.%s in //jenga:hotpath function %s allocates (interface boxing + formatting); move it to a cold helper or justify with //jenga:alloc-ok <why>", fun.Sel.Name, fn.Name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags `range` over a map in golden-affecting packages. Map
+// iteration order is randomized per run, so any such loop whose body
+// can influence results, event order, or allocation order silently
+// breaks the bit-identity the goldens and the sim anchor
+// (126.11533015205485) pin. A loop survives only if the body is
+// provably order-insensitive — every statement merely aggregates into
+// commutative accumulators or writes cells keyed by the (unique) loop
+// key — or the site carries //jenga:order-ok <why>.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid nondeterministic map iteration in golden-affecting packages",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	if !isGoldenPkg(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.suppressed(f, "order-ok", rng.Pos()) {
+				return true
+			}
+			if orderInsensitive(pass, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "range over map %s in golden-affecting package %s: iteration order is nondeterministic; iterate sorted keys, or justify with //jenga:order-ok <why>", typeLabel(tv.Type), pass.Path)
+			return true
+		})
+	}
+	return nil
+}
+
+func typeLabel(t types.Type) string {
+	s := t.String()
+	if len(s) > 40 {
+		s = s[:40] + "…"
+	}
+	return s
+}
+
+// orderInsensitive conservatively proves the loop body produces the
+// same state for every iteration order. Allowed statements:
+//
+//   - x++ / x-- and commutative compound assignments (+=, -=, *=, |=,
+//     &=, ^=)
+//   - x = min(x, e) / x = max(x, e) running extrema
+//   - writes and deletes keyed exactly by the loop key (m2[k] = e,
+//     delete(m2, k)): range keys are unique, so cell writes commute
+//   - plain assignment to loop-body locals (invisible across
+//     iterations)
+//   - nested ranges over pure operands whose bodies only aggregate
+//     (no keyed writes inside — the inner iteration multiplies every
+//     write)
+//   - local := definitions, if/else with the same properties, blocks,
+//     and continue
+//
+// Everything in an allowed statement must also be call-free (only
+// builtins len/cap/min/max and type conversions), since an arbitrary
+// call can observe or mutate order-dependent state.
+func orderInsensitive(pass *Pass, rng *ast.RangeStmt) bool {
+	key, _ := rng.Key.(*ast.Ident)
+	ctx := &proofCtx{pass: pass, key: key, locals: map[types.Object]bool{}}
+	// Anything defined inside the body is per-iteration state: writes
+	// to it cannot leak across iteration orders.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				ctx.locals[obj] = true
+			}
+		}
+		return true
+	})
+	for _, stmt := range rng.Body.List {
+		if !ctx.stmt(stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+type proofCtx struct {
+	pass   *Pass
+	key    *ast.Ident
+	locals map[types.Object]bool
+}
+
+func (c *proofCtx) stmt(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return pureExpr(c.pass, s.X)
+	case *ast.AssignStmt:
+		return c.assign(s)
+	case *ast.IfStmt:
+		if s.Init != nil && !c.stmt(s.Init) {
+			return false
+		}
+		if !pureExpr(c.pass, s.Cond) {
+			return false
+		}
+		if !c.stmt(s.Body) {
+			return false
+		}
+		return s.Else == nil || c.stmt(s.Else)
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if !c.stmt(st) {
+				return false
+			}
+		}
+		return true
+	case *ast.RangeStmt:
+		// A nested loop over a pure operand may aggregate, but not do
+		// keyed writes: each inner element would repeat the write, so
+		// the unique-key argument no longer holds.
+		if !pureExpr(c.pass, s.X) {
+			return false
+		}
+		inner := &proofCtx{pass: c.pass, key: nil, locals: c.locals}
+		return inner.stmt(s.Body)
+	case *ast.BranchStmt:
+		// A conditional break decides *which* iteration runs last —
+		// order-dependent. Only continue is safe.
+		return s.Tok == token.CONTINUE
+	case *ast.ExprStmt:
+		// delete(other, k): unique keys commute.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 {
+				return keyedBy(c.pass, c.key, call.Args[1]) && pureExpr(c.pass, call.Args[0])
+			}
+		}
+		return false
+	case *ast.EmptyStmt:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *proofCtx) assign(s *ast.AssignStmt) bool {
+	for _, rhs := range s.Rhs {
+		if !pureExpr(c.pass, rhs) {
+			return false
+		}
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true
+	case token.DEFINE:
+		// Loop-local temporaries are invisible across iterations.
+		return true
+	case token.ASSIGN:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		// Plain write to a loop-body local.
+		if id, ok := s.Lhs[0].(*ast.Ident); ok {
+			if obj := c.pass.Info.ObjectOf(id); obj != nil && c.locals[obj] {
+				return true
+			}
+		}
+		// Cell write keyed by the unique loop key.
+		if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+			return keyedBy(c.pass, c.key, ix.Index) && pureExpr(c.pass, ix.X)
+		}
+		// Running extremum: x = min/max(..., x, ...).
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "min" || id.Name == "max") {
+				lhs, ok := s.Lhs[0].(*ast.Ident)
+				if !ok {
+					return false
+				}
+				for _, arg := range call.Args {
+					if keyedBy(c.pass, lhs, arg) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// keyedBy reports whether expr is exactly the identifier id (the same
+// object, not merely the same name, so shadowing cannot fool it).
+func keyedBy(pass *Pass, id *ast.Ident, expr ast.Expr) bool {
+	if id == nil {
+		return false
+	}
+	e, ok := expr.(*ast.Ident)
+	if !ok || e.Name != id.Name {
+		return false
+	}
+	if eo, io := pass.Info.ObjectOf(e), pass.Info.ObjectOf(id); eo != nil && io != nil {
+		return eo == io
+	}
+	return true
+}
+
+// pureExpr walks expr rejecting any call that is not a builtin
+// len/cap/min/max or a type conversion.
+func pureExpr(pass *Pass, expr ast.Expr) bool {
+	pure := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return pure
+		}
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return pure // conversion
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "len", "cap", "min", "max":
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return pure
+				}
+			}
+		}
+		pure = false
+		return false
+	})
+	return pure
+}

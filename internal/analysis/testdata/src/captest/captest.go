@@ -1,0 +1,68 @@
+// Package captest exercises the capability analyzer. Matching is by
+// interface name, so the fixture declares its own TierManager instead
+// of importing the real one.
+package captest
+
+// TierManager mirrors the optional capability interface by name.
+type TierManager interface {
+	SwapOut(int) bool
+}
+
+// Stats is an ordinary interface: assertions to it are unrestricted.
+type Stats interface {
+	Len() int
+}
+
+// Positive: the bare expression form panics on a baseline value.
+func use(v any) bool {
+	return v.(TierManager).SwapOut(1) // want "single-result assertion to capability interface TierManager"
+}
+
+// Negative: the comma-ok form degrades instead of panicking.
+func okForm(v any) bool {
+	tm, ok := v.(TierManager)
+	if !ok {
+		return false
+	}
+	return tm.SwapOut(1)
+}
+
+// Negative: `, _` is the deliberate nil-degrade form, checked at the
+// use site.
+func nilDegrade(v any) {
+	tm, _ := v.(TierManager)
+	if tm != nil {
+		tm.SwapOut(0)
+	}
+}
+
+// Negative: var-declaration comma-ok.
+func varForm(v any) bool {
+	var tm, ok = v.(TierManager)
+	return ok && tm.SwapOut(2)
+}
+
+// Negative: type switches carry their own ok semantics.
+func typeSwitch(v any) int {
+	switch v.(type) {
+	case TierManager:
+		return 1
+	}
+	return 0
+}
+
+// Negative: not a capability interface.
+func otherIface(v any) int {
+	return v.(Stats).Len()
+}
+
+// Suppressed: a justified pragma on the line above.
+func justified(v any) TierManager {
+	//jenga:cap-ok fixture constructor hands every caller a tiered manager by construction
+	return v.(TierManager)
+}
+
+// A bare pragma is reported and does not suppress the finding.
+func bare(v any) TierManager {
+	return v.(TierManager) /* want "single-result assertion" "needs a justification" */ //jenga:cap-ok
+}

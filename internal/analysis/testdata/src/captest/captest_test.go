@@ -1,0 +1,7 @@
+package captest
+
+// Capability is the one analyzer that checks _test.go files: a test
+// asserting a capability panics the same way on a fixture without it.
+func helperAssert(v any) TierManager {
+	return v.(TierManager) // want "single-result assertion to capability interface TierManager"
+}

@@ -1,0 +1,77 @@
+// Package hotpathtest exercises the hotpath analyzer. The check is
+// pragma-gated rather than package-gated, so the fixture lives outside
+// the virtual jenga/ tree: any //jenga:hotpath function anywhere is
+// held to the zero-alloc contract.
+package hotpathtest
+
+import "fmt"
+
+type ring struct {
+	scratch []int
+	index   map[int]int
+}
+
+// hot is annotated, so every allocating construct is flagged.
+//
+//jenga:hotpath
+func (r *ring) hot(vs []int) int {
+	var tmp []int
+	for _, v := range vs {
+		tmp = append(tmp, v) // want "append to nil-born local slice tmp"
+	}
+	f := func() int { return len(tmp) } // want "closure in //jenga:hotpath function hot"
+	m := map[int]int{}                  // want "map literal in //jenga:hotpath function hot"
+	mm := make(map[int]int)             // want "make\\(map\\) in //jenga:hotpath function hot"
+	fmt.Println(len(m), len(mm))        // want "fmt.Println in //jenga:hotpath function hot"
+	return f()
+}
+
+// cold is the same body without the annotation: no findings.
+func (r *ring) cold(vs []int) int {
+	var tmp []int
+	for _, v := range vs {
+		tmp = append(tmp, v)
+	}
+	f := func() int { return len(tmp) }
+	m := map[int]int{}
+	mm := make(map[int]int)
+	fmt.Println(len(m), len(mm))
+	return f()
+}
+
+// hotClean shows the sanctioned shapes: amortized scratch fields,
+// capacity-born locals, and integer work stay silent.
+//
+//jenga:hotpath
+func (r *ring) hotClean(vs []int) int {
+	r.scratch = r.scratch[:0]
+	tmp := make([]int, 0, 8)
+	for _, v := range vs {
+		r.scratch = append(r.scratch, v)
+		tmp = append(tmp, v)
+	}
+	n := 0
+	for _, v := range tmp {
+		n += r.index[v]
+	}
+	return n
+}
+
+// hotJustified carries a justified suppression for its one cold-start
+// allocation.
+//
+//jenga:hotpath
+func (r *ring) hotJustified(v int) {
+	if r.index == nil {
+		//jenga:alloc-ok lazy init: taken once per ring, never on the steady-state path
+		r.index = make(map[int]int)
+	}
+	r.index[v]++
+}
+
+// A bare pragma is reported and does not suppress the finding.
+//
+//jenga:hotpath
+func (r *ring) hotBare() map[int]int {
+	return make(map[int]int) /* want "make\\(map\\) in //jenga:hotpath function hotBare" "needs a justification" */ //jenga:alloc-ok
+}

@@ -1,0 +1,91 @@
+// Package mapordertest is the maporder fixture: its virtual package
+// path sits under jenga/internal/core, a golden-affecting package, so
+// the analyzer gates on.
+package mapordertest
+
+// Positive: appending in map order leaks the iteration order.
+func collect(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "range over map"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Positive: calling out of the loop can observe order.
+func emit(m map[int]int, sink func(int)) {
+	for _, v := range m { // want "range over map"
+		sink(v)
+	}
+}
+
+// Positive: a conditional break decides which iteration runs last.
+func firstOver(m map[int]int, lim int) int {
+	found := 0
+	for _, v := range m { // want "range over map"
+		if v > lim {
+			found = v
+			break
+		}
+	}
+	return found
+}
+
+// Negative: counters, commutative accumulation, extrema, and writes
+// keyed by the unique loop key are provably order-insensitive.
+func aggregate(m map[int]int) (int, int, int) {
+	n, sum, most := 0, 0, 0
+	seen := make(map[int]bool)
+	for k, v := range m {
+		n++
+		sum += v
+		most = max(most, v)
+		seen[k] = true
+		if v == 0 {
+			continue
+		}
+	}
+	return n, sum, most
+}
+
+// Negative: nested ranges that only aggregate.
+func countAll(m map[int][]int, who int) int {
+	n := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v == who {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Negative: writes and deletes keyed by the unique loop key commute,
+// and loop-body locals are invisible across iterations.
+func overlay(dst, src map[int]int) {
+	for k, v := range src {
+		old := dst[k]
+		if old < v {
+			dst[k] = v
+		}
+		if v == 0 {
+			delete(dst, k)
+		}
+	}
+}
+
+// Suppressed: a justified pragma on the line above.
+func justified(m map[int]func()) {
+	//jenga:order-ok callbacks are independent; invocation order has no observable effect here
+	for _, fn := range m {
+		fn()
+	}
+}
+
+// A bare pragma is reported and does not suppress the finding.
+func bare(m map[int]func()) {
+	for _, fn := range m { /* want "range over map" "needs a justification" */ //jenga:order-ok
+		fn()
+	}
+}

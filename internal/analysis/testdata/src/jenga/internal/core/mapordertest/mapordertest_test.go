@@ -1,0 +1,11 @@
+package mapordertest
+
+// maporder exempts _test.go files — the goldens themselves range over
+// result maps freely — so this order-sensitive loop is not flagged.
+func collectForAssert(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+// Package detsourcetest is the detsource fixture: its virtual path
+// sits under jenga/internal/engine, a sim package, so the analyzer
+// gates on.
+package detsourcetest
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Positive: wall-clock reads.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in sim package"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in sim package"
+}
+
+// Positive: environment reads.
+func mode() string {
+	return os.Getenv("JENGA_MODE") // want "os.Getenv in sim package"
+}
+
+// Positive: the implicitly-seeded global math/rand source.
+func roll() int {
+	return rand.Intn(6) // want "math/rand.Intn in sim package"
+}
+
+// Negative: seeded generators are the sanctioned randomness source —
+// constructors and methods on the seeded value are both fine.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Negative: time types and arithmetic carry no wall-clock read.
+func wait(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+// Suppressed: a justified pragma on the line above.
+var debug = func() bool {
+	//jenga:det-ok fixture mirror of the one legitimate debug gate; read once at init, never on a result path
+	return os.Getenv("DETSOURCETEST_DEBUG") != ""
+}()
+
+// A bare pragma is reported and does not suppress the finding.
+func bare() string {
+	return os.Getenv("X") /* want "os.Getenv in sim package" "needs a justification" */ //jenga:det-ok
+}

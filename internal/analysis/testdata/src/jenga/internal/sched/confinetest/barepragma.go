@@ -1,0 +1,11 @@
+// A bare //jenga:concurrent still exempts the file (the pragma marks
+// the file as a deliberate concurrency boundary either way) but is
+// itself reported until it carries a justification — so the only
+// finding in this file is at the pragma, not at the go statement.
+//
+/* want "needs a justification" */ //jenga:concurrent
+package confinetest
+
+func bareAllowed(w func()) {
+	go w()
+}

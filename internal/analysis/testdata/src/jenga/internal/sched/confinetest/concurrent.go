@@ -1,0 +1,25 @@
+// This file is the allow-listed twin of confined.go: the justified
+// //jenga:concurrent pragma exempts the whole file, so the same
+// constructs produce no findings.
+//
+//jenga:concurrent fixture twin of confined.go; the harness drives these workers concurrently on purpose
+package confinetest
+
+import "sync"
+
+func fanOutAllowed(work []func()) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for _, w := range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,37 @@
+// Package confinetest is the confine fixture: its virtual path sits
+// under jenga/internal/sched, a goroutine-confined package. This file
+// carries no pragma, so every concurrency construct is flagged; the
+// twin file concurrent.go is allow-listed and clean.
+package confinetest
+
+import "sync"
+
+var mu sync.Mutex // want "sync.Mutex in goroutine-confined package"
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup // want "sync.WaitGroup in goroutine-confined package"
+	for _, w := range work {
+		wg.Add(1)
+		go func() { // want "go statement in goroutine-confined package"
+			defer wg.Done()
+			w()
+		}()
+	}
+	wg.Wait()
+}
+
+func pump(n int) int {
+	ch := make(chan int, n) // want "make\\(chan\\) in goroutine-confined package"
+	ch <- 1                 // want "channel send in goroutine-confined package"
+	select {                // want "select in goroutine-confined package"
+	case v := <-ch: // want "channel receive in goroutine-confined package"
+		ch <- v // want "channel send in goroutine-confined package"
+	default:
+	}
+	close(ch) // want "close\\(chan\\) in goroutine-confined package"
+	total := 0
+	for v := range ch { // want "range over channel in goroutine-confined package"
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,30 @@
+// Package ungated sits outside the virtual jenga/ tree, so the
+// package-gated analyzers (maporder, detsource, confine) all skip it:
+// none of the constructs below is flagged.
+package ungated
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+func orderLeaks(m map[int]string, sink func(string)) {
+	for _, v := range m {
+		sink(v)
+	}
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(10))
+}
+
+func concurrent(w func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w()
+	}()
+	wg.Wait()
+}

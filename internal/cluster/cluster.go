@@ -25,6 +25,8 @@
 // each arrival instant, routers decide on live per-replica state
 // (measured Usage, queue depth, outstanding tokens — Load.Live), and
 // per-replica admission policies shed at arrival.
+//
+//jenga:concurrent batch fan-out: one goroutine per goroutine-confined replica, joined before aggregation
 package cluster
 
 import (
@@ -35,6 +37,7 @@ import (
 	"time"
 
 	"jenga/internal/core"
+	"jenga/internal/detmap"
 	"jenga/internal/engine"
 	"jenga/internal/fleet"
 	"jenga/internal/gpu"
@@ -495,9 +498,11 @@ func (c *Cluster) aggregate(loads []Load, results []*engine.Result, routedGroups
 			g.ttftSum += rm.TTFT
 		}
 	}
-	// Cross-replica fairness and starvation over prefix groups.
+	// Cross-replica fairness and starvation over prefix groups. Sorted
+	// traversal keeps the float accumulation order (and so Jain's
+	// rounding) identical across runs.
 	groupTokens := make([]float64, 0, len(groups))
-	for _, g := range groups {
+	for _, g := range detmap.Sorted(groups) {
 		groupTokens = append(groupTokens, float64(g.tokens))
 		if mean := g.ttftSum / time.Duration(g.finished); mean > out.MaxGroupMeanTTFT {
 			out.MaxGroupMeanTTFT = mean

@@ -1,3 +1,4 @@
+//jenga:concurrent online fan-out: replica goroutines advance to each arrival; nothing is shared between them
 package cluster
 
 import (

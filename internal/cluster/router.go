@@ -140,6 +140,7 @@ func (r *roundRobinRouter) Name() string { return RoundRobin.String() }
 
 func (r *roundRobinRouter) reset() { r.next = 0 }
 
+//jenga:hotpath
 func (r *roundRobinRouter) Route(_ *workload.Request, loads []Load) int {
 	i := r.next % len(loads)
 	r.next++
@@ -163,6 +164,7 @@ func (r *leastLoadedRouter) backlog(l Load) float64 {
 	return l.Outstanding
 }
 
+//jenga:hotpath
 func (r *leastLoadedRouter) Route(_ *workload.Request, loads []Load) int {
 	best := 0
 	for i := 1; i < len(loads); i++ {

@@ -1,3 +1,4 @@
+//jenga:concurrent sharded event loops: replica shards, bounded mailboxes, and the epoch-horizon barrier channels
 package cluster
 
 import (
@@ -5,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"jenga/internal/detmap"
 	"jenga/internal/engine"
 	"jenga/internal/metrics"
 	"jenga/internal/workload"
@@ -407,8 +409,10 @@ func (c *Cluster) aggregateStream(loads []Load, results []*engine.Result, accs [
 			g.ttftSum += sg.ttftSum
 		}
 	}
+	// Sorted traversal: float accumulation order must not depend on
+	// map iteration order (see the identical aggregation in Serve).
 	groupTokens := make([]float64, 0, len(groups))
-	for _, g := range groups {
+	for _, g := range detmap.Sorted(groups) {
 		groupTokens = append(groupTokens, float64(g.tokens))
 		if mean := g.ttftSum / time.Duration(g.finished); mean > out.MaxGroupMeanTTFT {
 			out.MaxGroupMeanTTFT = mean

@@ -99,6 +99,8 @@ func (m *Jenga) cacheRemove(L arena.LargePageID, pg *page) {
 
 // pageToUsed moves an empty or cached page into the used state with one
 // reference held by req.
+//
+//jenga:hotpath
 func (m *Jenga) pageToUsed(g *group, id arena.SmallPageID, req RequestID) {
 	pg := &g.pages[id]
 	L := m.largeOf(g, id)
@@ -144,6 +146,8 @@ func (m *Jenga) pageAddRef(g *group, id arena.SmallPageID) {
 // exitTS is the page's final last-access time (§5.1 semantics: the time
 // the page was last read by a computation). expired marks KV outside
 // the dependency horizon — first in line for eviction (§3.3).
+//
+//jenga:hotpath
 func (m *Jenga) pageRelease(g *group, id arena.SmallPageID, cache bool, exitTS Tick, expired bool) {
 	pg := &g.pages[id]
 	if pg.status != pageUsed || pg.ref <= 0 {
@@ -285,6 +289,8 @@ func (m *Jenga) largeTimestamp(L arena.LargePageID) (Tick, bool, bool) {
 //  5. evict a single cached page of the type (LRU + priority).
 //
 // With RequestAware disabled (ablation), step 4 runs before steps 1–3.
+//
+//jenga:hotpath
 func (m *Jenga) allocSmall(g *group, req RequestID) (arena.SmallPageID, error) {
 	if !m.cfg.RequestAware {
 		if id, ok := m.popAnyFree(g); ok {
@@ -335,6 +341,8 @@ func (m *Jenga) allocSmall(g *group, req RequestID) (arena.SmallPageID, error) {
 }
 
 // popAssocFree pops an empty page associated with req (lazy list).
+//
+//jenga:hotpath
 func (m *Jenga) popAssocFree(g *group, req RequestID) (arena.SmallPageID, bool) {
 	lst := g.freeByReq[req]
 	for len(lst) > 0 {
@@ -355,6 +363,8 @@ func (m *Jenga) popAssocFree(g *group, req RequestID) (arena.SmallPageID, bool) 
 
 // popAnyFree pops the lowest-ID empty page of the group — O(1) and
 // deterministic, unlike the randomized map iteration it replaces.
+//
+//jenga:hotpath
 func (m *Jenga) popAnyFree(g *group) (arena.SmallPageID, bool) {
 	return g.free.min()
 }

@@ -221,8 +221,15 @@ func (m *Jenga) LookupFleet(seq *Sequence, peer PeerPresence) (int, []FetchBlock
 					fv.ckHash[i+1] = h
 				}
 			}
+			// Walk checkpoint positions in chain order rather than
+			// ranging ckHash: the peer() probe order stays
+			// deterministic.
 			local := v.CheckpointAt
-			for pos, hh := range fv.ckHash {
+			for pos := every; pos <= len(proj); pos += every {
+				hh, ok := fv.ckHash[pos]
+				if !ok {
+					continue
+				}
 				if !local(pos) && peer(g.spec.Name, hh) {
 					fv.ckPeer[pos] = true
 					anyPresent = true

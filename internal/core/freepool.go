@@ -47,6 +47,8 @@ func (f *freePool) has(id arena.SmallPageID) bool {
 }
 
 // add inserts id (must not be present).
+//
+//jenga:hotpath
 func (f *freePool) add(id arena.SmallPageID) {
 	w := int(id >> 6)
 	f.bits[w] |= 1 << (uint(id) & 63)
@@ -62,6 +64,8 @@ func (f *freePool) add(id arena.SmallPageID) {
 }
 
 // remove deletes id (must be present).
+//
+//jenga:hotpath
 func (f *freePool) remove(id arena.SmallPageID) {
 	w := int(id >> 6)
 	f.bits[w] &^= 1 << (uint(id) & 63)
@@ -80,6 +84,8 @@ func (f *freePool) remove(id arena.SmallPageID) {
 }
 
 // min returns the lowest free page ID.
+//
+//jenga:hotpath
 func (f *freePool) min() (arena.SmallPageID, bool) {
 	if f.n == 0 {
 		return 0, false

@@ -161,6 +161,8 @@ func (m *Jenga) CachedPrefix(seq *Sequence) int {
 // prefix is returned. With a host tier, blocks whose only copy lives
 // one tier down count as present — claiming such a prefix restores
 // them (H2D) instead of recomputing.
+//
+//jenga:hotpath
 func (m *Jenga) Lookup(seq *Sequence) int {
 	return m.lookupPrefix(seq, m.host != nil)
 }
@@ -168,6 +170,8 @@ func (m *Jenga) Lookup(seq *Sequence) int {
 // lookupPrefix is Lookup with host-tier presence switchable: the
 // claim fallback path re-evaluates the prefix GPU-only when a restore
 // ran out of device memory.
+//
+//jenga:hotpath
 func (m *Jenga) lookupPrefix(seq *Sequence, useHost bool) int {
 	if !m.cfg.EnablePrefixCache {
 		return 0
@@ -243,6 +247,8 @@ type lookupView struct {
 // stable; a different request, a reallocated array or a truncation
 // breaks one of them and forces a full rebuild. This is what makes a
 // warm lookup over a long prompt stop rehashing the whole prefix.
+//
+//jenga:hotpath
 func (m *Jenga) buildView(g *group, id RequestID, tokens []Token, useHost bool) *GroupSeqView {
 	storesImg := g.spec.StoresToken(true)
 	storesTxt := g.spec.StoresToken(false)
@@ -288,6 +294,7 @@ func (m *Jenga) buildView(g *group, id RequestID, tokens []Token, useHost bool) 
 	}
 	if g.spec.Kind == model.Mamba {
 		every := g.spec.Checkpoint()
+		//jenga:alloc-ok Mamba checkpoint branch; the measured warm-lookup path is full-attention only
 		present := make(map[int]bool)
 		h := blockHashSeed
 		for i, t := range proj {
@@ -306,6 +313,7 @@ func (m *Jenga) buildView(g *group, id RequestID, tokens []Token, useHost bool) 
 				}
 			}
 		}
+		//jenga:alloc-ok Mamba checkpoint branch; the measured warm-lookup path is full-attention only
 		v.CheckpointAt = func(pos int) bool { return present[pos] }
 		v.Present = nil
 		v.buildRuns()
@@ -342,8 +350,11 @@ func (m *Jenga) buildView(g *group, id RequestID, tokens []Token, useHost bool) 
 // --- Reserve -------------------------------------------------------------
 
 // Reserve implements Manager.
+//
+//jenga:hotpath
 func (m *Jenga) Reserve(seq *Sequence, upTo int, now Tick) error {
 	if upTo > len(seq.Tokens) {
+		//jenga:alloc-ok caller-bug error path, never taken on the measured steady state
 		return fmt.Errorf("core: reserve %d beyond sequence length %d", upTo, len(seq.Tokens))
 	}
 	r := m.getReq(seq)
@@ -445,6 +456,8 @@ func (m *Jenga) reserveMamba(g *group, rg *reqGroup, req RequestID, newProj int)
 // --- Commit --------------------------------------------------------------
 
 // Commit implements Manager.
+//
+//jenga:hotpath
 func (m *Jenga) Commit(seq *Sequence, upTo int, now Tick) {
 	r := m.getReq(seq)
 	if upTo > r.reserved {
@@ -465,6 +478,7 @@ func (m *Jenga) Commit(seq *Sequence, upTo int, now Tick) {
 	r.committed = upTo
 }
 
+//jenga:hotpath
 func (m *Jenga) commitGroup(g *group, rg *reqGroup, delta []Token, fullBase, promptBound int, now Tick) {
 	mamba := g.spec.Kind == model.Mamba
 	pos := rg.projCommitted
@@ -576,6 +590,8 @@ func (m *Jenga) finalizeCheckpoint(g *group, rg *reqGroup, i int, now Tick) {
 // --- Release -------------------------------------------------------------
 
 // Release implements Manager.
+//
+//jenga:hotpath
 func (m *Jenga) Release(seq *Sequence, cache bool) {
 	r, ok := m.reqs[seq.ID]
 	if !ok {

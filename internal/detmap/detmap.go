@@ -1,0 +1,38 @@
+// Package detmap is the one sanctioned way to iterate a map in
+// golden-affecting packages: deterministic, sorted-key traversal.
+// jengalint's maporder analyzer forbids raw `range m` there because Go
+// randomizes iteration order per run; loops that aggregate floats,
+// append, emit events, or allocate in map order silently break the
+// bit-identity the goldens and the sim anchor pin. This leaf package
+// contains the only unordered ranges such code needs, and returns
+// order-independent results.
+package detmap
+
+import (
+	"cmp"
+	"iter"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// Sorted yields m's entries in ascending key order:
+//
+//	for k, v := range detmap.Sorted(m) { ... }
+func Sorted[K cmp.Ordered, V any](m map[K]V) iter.Seq2[K, V] {
+	return func(yield func(K, V) bool) {
+		for _, k := range SortedKeys(m) {
+			if !yield(k, m[k]) {
+				return
+			}
+		}
+	}
+}

@@ -41,6 +41,8 @@ import (
 )
 
 // debugSteps enables periodic scheduler state dumps (debugging only).
+//
+//jenga:det-ok debug tracing gate only; read once at init and never on a result path
 var debugSteps = os.Getenv("JENGA_DEBUG") != ""
 
 // VisionStrategy selects how vision embeddings are managed (§6.2).
@@ -654,6 +656,8 @@ func (e *Engine) admitArrivals() {
 
 // runStep schedules and executes one engine step. Reports whether any
 // work happened.
+//
+//jenga:hotpath
 func (e *Engine) runStep() bool {
 	now := core.Tick(e.step)
 	work := gpu.StepWork{KernelEfficiency: e.cfg.KernelEfficiency}

@@ -220,10 +220,13 @@ func (e *Engine) Snapshot() Snapshot {
 // SnapshotTotals is Snapshot with aggregate-only memory accounting
 // (Usage.PerGroup is nil) — the allocation-light form per-arrival hot
 // paths such as online cluster routing read.
+//
+//jenga:hotpath
 func (e *Engine) SnapshotTotals() Snapshot {
 	return e.snapshot(e.cfg.Manager.UsageTotals())
 }
 
+//jenga:hotpath
 func (e *Engine) snapshot(u core.Usage) Snapshot {
 	s := Snapshot{
 		Clock:    e.clock,
@@ -324,9 +327,12 @@ func (e *Engine) Cancel(id int64) bool {
 // arrivals (shedding per the admission policy), schedule and execute
 // one batch, advance the clock, emit events. Callers must check Live
 // first; stepping an empty engine is an error.
+//
+//jenga:hotpath
 func (e *Engine) StepOnce() error {
 	e.step++
 	if e.step > e.cfg.MaxSteps {
+		//jenga:alloc-ok stuck-engine error path terminates the run; never taken on the measured steady state
 		return fmt.Errorf("engine: exceeded %d steps (stuck?)", e.cfg.MaxSteps)
 	}
 	e.admitArrivals()
@@ -335,11 +341,7 @@ func (e *Engine) StepOnce() error {
 		e.admitArrivals()
 	}
 	if e.step%5000 == 0 && debugSteps {
-		fmt.Printf("step %d clock %v running %d waiting %d pending %d finished %d failed %d stalls %d\n",
-			e.step, e.clock, len(e.running), len(e.waiting), len(e.pending), len(e.finished), len(e.failed), e.globalStalls)
-		for _, r := range e.running {
-			fmt.Printf("  run id=%d ph=%d computed=%d/%d decodes=%d/%d cachedHit=%d\n", r.req.ID, r.ph, r.computed, r.promptLen(), r.decodesDone, r.req.OutputLen, r.cachedHit)
-		}
+		e.debugDump()
 	}
 	progressed := e.runStep()
 	switch {
@@ -352,6 +354,7 @@ func (e *Engine) StepOnce() error {
 	default:
 		e.globalStalls++
 		if !e.handleStall() {
+			//jenga:alloc-ok deadlock error path terminates the run; never taken on the measured steady state
 			return fmt.Errorf("engine: no progress possible at step %d", e.step)
 		}
 	}
@@ -362,6 +365,16 @@ func (e *Engine) StepOnce() error {
 		e.sampleKVUtil()
 	}
 	return nil
+}
+
+// debugDump prints the JENGA_DEBUG step trace. Kept out of StepOnce so
+// the hot step body stays free of fmt's boxing and formatting.
+func (e *Engine) debugDump() {
+	fmt.Printf("step %d clock %v running %d waiting %d pending %d finished %d failed %d stalls %d\n",
+		e.step, e.clock, len(e.running), len(e.waiting), len(e.pending), len(e.finished), len(e.failed), e.globalStalls)
+	for _, r := range e.running {
+		fmt.Printf("  run id=%d ph=%d computed=%d/%d decodes=%d/%d cachedHit=%d\n", r.req.ID, r.ph, r.computed, r.promptLen(), r.decodesDone, r.req.OutputLen, r.cachedHit)
+	}
 }
 
 // AdvanceTo steps the simulation until the clock reaches t or no

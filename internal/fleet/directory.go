@@ -16,6 +16,8 @@
 // Nothing here runs its own goroutines; the cluster's serial arrival
 // loop is the only writer during routing, and the Directory carries a
 // mutex only so the concurrent drain phase's evictions stay safe.
+//
+//jenga:concurrent the directory mutex serializes observer callbacks arriving from concurrent replica goroutines
 package fleet
 
 import "sync"
@@ -108,7 +110,9 @@ func (d *Directory) InvalidateHolder(replica int) int {
 // entry count removed. Caller holds the mutex.
 func (d *Directory) removeHolder(replica int) int {
 	n := 0
+	//jenga:order-ok each (group,hash) cell is edited independently and exactly once; no cross-cell state
 	for g, gm := range d.holders {
+		//jenga:order-ok per-cell mutation of the ranged map itself; unique keys commute
 		for h, hs := range gm {
 			for i, r := range hs {
 				if r != replica {

@@ -40,7 +40,11 @@ func storeWithSpill(t *testing.T) (*Store, []core.Manager) {
 		t.Fatal(err)
 	}
 	mgrs[0].Commit(swapSeq, 33, 2)
-	if pages, _ := mgrs[0].(core.TierManager).SwapOut(swapSeq); pages == 0 {
+	tm0, ok := mgrs[0].(core.TierManager)
+	if !ok {
+		t.Fatal("manager 0 has no tier capability")
+	}
+	if pages, _ := tm0.SwapOut(swapSeq); pages == 0 {
 		t.Fatal("SwapOut spilled nothing")
 	}
 	if s.Directory().Len() == 0 {
@@ -108,7 +112,11 @@ func TestFetchFailureIsBoundedAndObservable(t *testing.T) {
 	if p := mgrs[1].Lookup(seqOf(3, 33)); p != 0 {
 		t.Fatalf("failed fetch still delivered pages: lookup = %d", p)
 	}
-	ts := mgrs[1].(core.TierManager).TierStats()
+	tm1, ok := mgrs[1].(core.TierManager)
+	if !ok {
+		t.Fatal("manager 1 has no tier capability")
+	}
+	ts := tm1.TierStats()
 	if ts.PeerFails == 0 {
 		t.Fatalf("failure not surfaced in tier stats: %+v", ts)
 	}

@@ -57,7 +57,10 @@ func TestStoreFetchMovesPrefix(t *testing.T) {
 	}
 	mgrs[0].Commit(seq, 33, 1)
 	mgrs[0].Release(seq, true)
-	tm := mgrs[0].(core.TierManager)
+	tm, ok := mgrs[0].(core.TierManager)
+	if !ok {
+		t.Fatal("manager 0 has no tier capability")
+	}
 	swapSeq := seqOf(2, 33)
 	if err := mgrs[0].Reserve(swapSeq, 33, 2); err != nil {
 		t.Fatal(err)
@@ -93,7 +96,11 @@ func TestStoreFetchMovesPrefix(t *testing.T) {
 	if p := mgrs[1].Lookup(probe); p < 32 {
 		t.Fatalf("post-fetch local lookup = %d, want ≥ 32", p)
 	}
-	if ts := mgrs[1].(core.TierManager).TierStats(); ts.PeerImports == 0 {
+	tm1, ok := mgrs[1].(core.TierManager)
+	if !ok {
+		t.Fatal("manager 1 has no tier capability")
+	}
+	if ts := tm1.TierStats(); ts.PeerImports == 0 {
 		t.Fatalf("replica 1 tier stats: %+v", ts)
 	}
 

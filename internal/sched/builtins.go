@@ -183,6 +183,7 @@ func (f fairShare) shares(v *View) map[int64]float64 {
 	for i := range v.Running {
 		m[v.Running[i].Group] += float64(v.Running[i].PromptLen + v.Running[i].OutputLen)
 	}
+	//jenga:order-ok each group's cell is divided exactly once; weight() is a pure read of f.weights
 	for g := range m {
 		m[g] /= f.weight(g)
 	}

@@ -23,6 +23,8 @@
 // non-blocking, dropped progress events are counted on the stream, and
 // the terminal state is always available from Result after the channel
 // closes.
+//
+//jenga:concurrent the server is the concurrency boundary: pump goroutine, stream channels, and the mutex/cond that confine the engine
 package serve
 
 import (
